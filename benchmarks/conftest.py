@@ -1,0 +1,31 @@
+"""Shared fixtures and scale configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The default
+scale is the paper's (~34 clusters, ~100 bidders); set the environment
+variable ``REPRO_BENCH_SCALE=test`` to run the same benchmarks at a reduced
+scale for quick smoke checks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import PAPER_SCALE, TEST_SCALE, ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment scale used by all benchmarks."""
+    if os.environ.get("REPRO_BENCH_SCALE", "paper").lower() == "test":
+        return TEST_SCALE
+    return PAPER_SCALE
+
+
+def print_section(title: str) -> None:
+    """Print a visually distinct section header into the benchmark output."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,35 @@
+"""Benchmark E-F1: the Algorithm 1 / Figure 1 price-update loop trace."""
+
+from conftest import print_section
+
+from repro.experiments.clock_rounds import run_clock_rounds
+
+
+def test_clock_round_trace(benchmark):
+    """Run the reference clock auction with tracing and check the loop behaves as drawn."""
+    result = benchmark.pedantic(run_clock_rounds, rounds=1, iterations=1)
+
+    print_section("Algorithm 1 / Figure 1: ascending clock price-update loop")
+    outcome = result.outcome
+    print(f"rounds: {result.rounds}")
+    print(f"pools whose price moved: {result.moved_pools} / {len(outcome.index)}")
+    print(f"max rise over reserve: {result.max_relative_rise:.1%}")
+    print(f"active bidders per round: {outcome.active_bidder_counts()}")
+
+    # The loop of Figure 1: prices start at the reserve, rise monotonically on
+    # over-demanded pools only, and the auction ends with no positive excess demand.
+    import numpy as np
+
+    assert outcome.converged
+    first, last = outcome.rounds[0], outcome.rounds[-1]
+    assert np.all(first.prices == outcome.reserve_prices)
+    trajectory = np.array([r.prices for r in outcome.rounds])
+    assert np.all(np.diff(trajectory, axis=0) >= -1e-12)
+    assert np.all(last.excess_demand <= 1e-6 * np.maximum(outcome.index.capacities(), 1.0) + 1e-6)
+    # prices move only on pools that were over-demanded in at least one round
+    ever_over_demanded = np.any(
+        np.array([r.excess_demand for r in outcome.rounds]) > 0, axis=0
+    )
+    moved = last.prices > outcome.reserve_prices + 1e-12
+    assert np.all(~moved | ever_over_demanded)
+    assert first.round_index == 0

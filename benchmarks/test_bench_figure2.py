@@ -1,0 +1,29 @@
+"""Benchmark E-F2: regenerate Figure 2 (utilization-weighted pricing curves)."""
+
+from conftest import print_section
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_figure2_curves(benchmark):
+    """Regenerate the three weighting curves and check their shape against the paper."""
+    result = benchmark(run_figure2, points=101)
+
+    print_section("Figure 2: utilization-weighted pricing curves (price multiple at 0/50/100% util)")
+    print(f"{'curve':<28} {'phi(0)':>8} {'phi(0.5)':>9} {'phi(1)':>8}")
+    for curve in result.curves:
+        print(f"{curve.label:<28} {curve.at_zero:>8.3f} {curve.at_half:>9.3f} {curve.at_full:>8.3f}")
+
+    # Shape checks against the published curves.
+    phi1 = result.curve("phi1")
+    phi2 = result.curve("phi2")
+    phi3 = result.curve("phi3")
+    # All three equal 1.0 at 50% utilization and exceed 1 at full utilization.
+    for curve in (phi1, phi2, phi3):
+        assert abs(curve.at_half - 1.0) < 1e-9
+        assert curve.at_full > 1.0
+        assert all(curve.properties.values()), curve.properties
+    # phi1 is the steepest of the exponentials; phi3 tops out at 2.0; the
+    # ordering at 100% utilization matches the published plot.
+    assert phi1.at_full > phi3.at_full > phi2.at_full
+    assert abs(phi3.at_full - 2.0) < 1e-9

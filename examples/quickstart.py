@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: run one congestion-priced clock auction end to end.
+
+This example builds a small synthetic fleet, computes congestion-weighted
+reserve prices, submits a handful of hand-written bids (including an XOR bid
+that is indifferent between two clusters and a selling team), runs the
+ascending clock auction, and prints the settled prices and allocations.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster.fleet_gen import FleetSpec, generate_fleet
+from repro.core import Bid, CombinatorialExchange, ExponentialWeight, ReservePricer
+
+
+def main() -> None:
+    # 1. A small planet-wide fleet: 6 clusters spanning idle to congested.
+    fleet = generate_fleet(FleetSpec(cluster_count=6, machines_range=(20, 60)), seed=42)
+    index = fleet.pool_index
+    print("Resource pools and their pre-auction utilization:")
+    for pool in index:
+        print(f"  {pool.name:<18} capacity={pool.capacity:>12.0f}  utilization={pool.utilization:5.1%}")
+
+    # 2. Congestion-weighted reserve prices (phi_1 of Figure 2).
+    pricer = ReservePricer(weighting=ExponentialWeight(steepness=2.0))
+    reserves = pricer.reserve_price_map(index)
+    print("\nReserve prices (congested pools priced above cost, idle pools below):")
+    for cluster in index.clusters()[:3]:
+        cpu = index.pool(f"{cluster}/cpu")
+        print(
+            f"  {cluster}/cpu: cost={cpu.unit_cost:.2f}  reserve={reserves[f'{cluster}/cpu']:.2f}  "
+            f"(utilization {cpu.utilization:.0%})"
+        )
+
+    # 3. A few sealed bids.
+    clusters = index.clusters()
+    congested = max(clusters, key=lambda c: index.pool(f"{c}/cpu").utilization)
+    idle = min(clusters, key=lambda c: index.pool(f"{c}/cpu").utilization)
+
+    def covering(cluster: str, cpu: float) -> dict[str, float]:
+        return {f"{cluster}/cpu": cpu, f"{cluster}/ram": cpu * 4, f"{cluster}/disk": cpu * 60}
+
+    bids = [
+        # A team indifferent between the congested and the idle cluster: the
+        # market should hand it the idle one.
+        Bid.buy("team-flexible", index, [covering(congested, 50), covering(idle, 50)], max_payment=3_000),
+        # A team that insists on the congested cluster and pays a premium.
+        Bid.buy("team-sticky", index, [covering(congested, 40)], max_payment=12_000),
+        # A team that bid too little and should lose.
+        Bid.buy("team-lowball", index, [covering(idle, 80)], max_payment=150),
+        # A team selling quota it holds in the congested cluster.
+        Bid.sell("team-downsizer", index, [covering(congested, 30)], min_revenue=500),
+    ]
+
+    # 4. Run the exchange: reserve pricing -> clock auction -> settlement.
+    exchange = CombinatorialExchange(index, weighting=ExponentialWeight(steepness=2.0))
+    result = exchange.run(bids)
+
+    print(f"\nClock auction cleared in {result.rounds} rounds; constraints satisfied: {result.constraints.satisfied}")
+    print("\nSettlement:")
+    for line in result.settlement.lines:
+        status = "WON " if line.won else "lost"
+        payment = f"pays {line.payment:9.2f}" if line.payment >= 0 else f"receives {-line.payment:9.2f}"
+        allocation = result.settlement.index.describe(line.allocation) if line.won else {}
+        print(f"  {line.bidder:<16} {status}  {payment}  {allocation}")
+
+    print("\nSettled unit prices vs the old fixed prices:")
+    ratios = result.price_ratio_to(fleet.fixed_prices)
+    for cluster in (congested, idle):
+        name = f"{cluster}/cpu"
+        print(f"  {name:<18} market/fixed = {ratios[name]:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Reserve-pricing study: the Figure 2 curves and what they do to reserve prices.
+
+Sweeps the three weighting functions of Figure 2 over the utilization range,
+verifies the five Section IV-A properties, and then applies each curve to a
+synthetic fleet to show how the reserve price of a congested cluster compares
+to an idle one under each policy.
+
+Run with::
+
+    python examples/reserve_pricing_study.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster.fleet_gen import FleetSpec, generate_fleet
+from repro.core.reserve import (
+    PAPER_PHI_1,
+    PAPER_PHI_2,
+    PAPER_PHI_3,
+    FlatWeight,
+    ReservePricer,
+    check_weighting_properties,
+    sweep_curve,
+)
+from repro.experiments.figure2 import run_figure2
+
+
+def main() -> None:
+    # 1. The Figure 2 curves, sampled like the published plot.
+    result = run_figure2(points=11)
+    print("Figure 2 curves (price multiple at sampled utilizations):")
+    xs = result.curves[0].xs
+    header = "  utilization: " + "  ".join(f"{x * 100:5.0f}%" for x in xs)
+    print(header)
+    for curve in result.curves:
+        values = "  ".join(f"{y:6.2f}" for y in curve.ys)
+        print(f"  {curve.label:<26} {values}")
+
+    # 2. Property checks (Section IV-A).
+    print("\nWeighting-function properties:")
+    for label, phi in (("phi1", PAPER_PHI_1), ("phi2", PAPER_PHI_2), ("phi3", PAPER_PHI_3), ("flat", FlatWeight(1.0))):
+        props = check_weighting_properties(phi)
+        print(f"  {label:<5} " + "  ".join(f"{name}={'ok' if ok else 'NO'}" for name, ok in props.items()))
+
+    # 3. Applied to a fleet: what the operator would actually charge.
+    fleet = generate_fleet(FleetSpec(cluster_count=10, machines_range=(20, 60)), seed=3)
+    index = fleet.pool_index
+    clusters = index.clusters()
+    congested = max(clusters, key=lambda c: index.pool(f"{c}/cpu").utilization)
+    idle = min(clusters, key=lambda c: index.pool(f"{c}/cpu").utilization)
+    print(f"\nReserve price of CPU in the most congested ({congested}) vs most idle ({idle}) cluster:")
+    print(f"  unit cost c(r) = {index.pool(f'{congested}/cpu').unit_cost:.2f} budget dollars per core")
+    for label, phi in (("flat", FlatWeight(1.0)), ("phi1", PAPER_PHI_1), ("phi2", PAPER_PHI_2), ("phi3", PAPER_PHI_3)):
+        prices = ReservePricer(weighting=phi).reserve_price_map(index)
+        ratio = prices[f"{congested}/cpu"] / prices[f"{idle}/cpu"]
+        print(
+            f"  {label:<5} congested={prices[f'{congested}/cpu']:7.2f}  idle={prices[f'{idle}/cpu']:7.2f}  "
+            f"congested/idle={ratio:5.2f}x"
+        )
+
+    # 4. The full sampled series is available for plotting elsewhere.
+    xs, ys = sweep_curve(PAPER_PHI_1, points=101)
+    print(f"\nphi1 sampled at {len(xs)} points; e.g. phi1(0.99) = {PAPER_PHI_1(0.99):.3f}")
+
+
+if __name__ == "__main__":
+    main()

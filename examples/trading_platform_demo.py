@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Trading-platform walkthrough: the two-step bid entry and the market summary.
+
+Mirrors the workflow of the paper's internal web application (Figures 3-5):
+
+1. teams are registered with budget-dollar endowments;
+2. a bid window opens and the market-summary page lists per-cluster activity
+   and current prices;
+3. a team expresses its need in *service* terms ("40 units of a Bigtable-like
+   serving service in cluster X, or cluster Y would also do"), the platform
+   quotes the covering CPU/RAM/disk amounts and their current prices, and the
+   team attaches a maximum bid;
+4. preliminary clock-auction runs update the displayed prices during the window;
+5. the final binding run settles budgets and quota holdings.
+
+Run with::
+
+    python examples/trading_platform_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.bidlang import cluster_bundle, xor
+from repro.cluster.fleet_gen import FleetSpec, generate_fleet
+from repro.market import ServiceRequest, TradingPlatform, render_market_summary
+
+
+def main() -> None:
+    fleet = generate_fleet(FleetSpec(cluster_count=8, machines_range=(20, 60)), seed=7)
+    platform = TradingPlatform(fleet.pool_index, fixed_prices=fleet.fixed_prices)
+
+    clusters = fleet.pool_index.clusters()
+    congested = max(clusters, key=lambda c: fleet.pool_index.pool(f"{c}/cpu").utilization)
+    idle = min(clusters, key=lambda c: fleet.pool_index.pool(f"{c}/cpu").utilization)
+
+    # 1. Register teams with budget endowments (and one team with quota to sell).
+    platform.register_team("search-serving", budget=100_000)
+    platform.register_team("ads-batch", budget=60_000)
+    platform.register_team("photos-storage", budget=40_000)
+    platform.register_team(
+        "legacy-pipeline",
+        budget=20_000,
+        initial_quota={f"{congested}/cpu": 500, f"{congested}/ram": 2_000, f"{congested}/disk": 20_000},
+    )
+
+    auction_id = platform.open_bid_window()
+    print(f"Opened bid window for auction #{auction_id}\n")
+
+    # 2. The market-summary page before any orders arrive.
+    print(render_market_summary(platform.market_summary(), max_rows=8))
+
+    # 3. Two-step bid entry for a service-level request.
+    request = ServiceRequest(service="bigtable_serving", cluster=congested, quantity=40)
+    ticket = platform.quote("search-serving", request, alternative_clusters=[idle])
+    print("\nQuote for search-serving (40 units of bigtable_serving):")
+    for bundle, cost in zip(ticket.bundles, ticket.bundle_costs()):
+        print(f"  covering bundle {bundle} -> {cost:,.0f} budget dollars at current prices")
+    platform.submit_quoted_bid(ticket, max_payment=ticket.estimated_cost * 1.25)
+
+    # A tree-language bid: batch compute that can land in either of two clusters.
+    tree = xor(
+        cluster_bundle(idle, cpu=200, ram=600, disk=4_000),
+        cluster_bundle(clusters[1], cpu=200, ram=600, disk=4_000),
+    )
+    platform.submit_tree_bid("ads-batch", tree, limit=9_000, service="batch_compute")
+
+    # A storage request quoted in the cheapest cluster.
+    storage = platform.quote("photos-storage", ServiceRequest("gfs_storage", idle, 25))
+    platform.submit_quoted_bid(storage, max_payment=storage.estimated_cost * 1.1)
+
+    # The legacy pipeline sells the congested quota it no longer needs.
+    from repro.core import Bid
+
+    platform.submit_bid(
+        Bid.sell(
+            "legacy-pipeline",
+            platform.index,
+            [{f"{congested}/cpu": 400, f"{congested}/ram": 1_600, f"{congested}/disk": 16_000}],
+            min_revenue=2_000,
+        )
+    )
+
+    # 4. Preliminary run: the front end refreshes its displayed prices.
+    platform.run_preliminary()
+    print("\nMarket summary after the preliminary clock-auction run:")
+    print(render_market_summary(platform.market_summary(), max_rows=8))
+
+    # 5. The binding run.
+    record = platform.finalize_auction()
+    print(f"\nAuction #{record.auction_id} settled {record.settled_fraction:.0%} of orders "
+          f"in {record.result.rounds} clock rounds")
+    print("\nBudgets and holdings after settlement:")
+    for team in ("search-serving", "ads-batch", "photos-storage", "legacy-pipeline"):
+        balance = platform.ledger.balance(team)
+        holdings = platform.quotas.holdings_map(team)
+        print(f"  {team:<16} balance={balance:>12,.0f}  quota={holdings}")
+
+
+if __name__ == "__main__":
+    main()

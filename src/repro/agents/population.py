@@ -1,0 +1,180 @@
+"""Population generation: building a fleet of team agents for an experiment.
+
+The paper's experimental auctions had on the order of 100 bidders.  This
+module builds a synthetic population of that scale: each team gets a home
+cluster (biased towards congested clusters, since that is where teams
+accumulate before the market exists), a demand profile drawn from the service
+catalog, a budget endowment, starting quota equal to its current footprint,
+and a strategy drawn from a configurable mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.agents.base import DemandProfile, TeamAgent
+from repro.agents.learning import AdaptiveMarginModel
+from repro.agents.relocation import RelocationCostModel
+from repro.agents.strategies import (
+    ArbitrageurStrategy,
+    BiddingStrategy,
+    FixedPriceAnchorStrategy,
+    LowballStrategy,
+    MarketTrackerStrategy,
+    PremiumPayerStrategy,
+    RelocatorStrategy,
+    SellerStrategy,
+)
+from repro.cluster.fleet_gen import SyntheticFleet
+from repro.market.services import ServiceCatalog, ServiceRequest, default_catalog
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Parameters controlling population generation.
+
+    ``strategy_mix`` gives the relative weight of each strategy kind; the
+    defaults roughly match the behavioural mix the paper describes (most
+    teams anchor on fixed prices early / track the market, a smaller set of
+    relocators and sellers, a few premium payers, low-ballers, and
+    arbitrageurs).
+    """
+
+    team_count: int = 100
+    budget_per_team: float = 50_000.0
+    #: Mean fraction of a congested cluster's footprint one team represents.
+    demand_scale: float = 0.01
+    congested_home_bias: float = 0.75
+    strategy_mix: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "fixed_anchor": 0.25,
+            "market_tracker": 0.30,
+            "relocator": 0.20,
+            "premium_payer": 0.08,
+            "seller": 0.10,
+            "lowball": 0.04,
+            "arbitrageur": 0.03,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        if self.team_count < 1:
+            raise ValueError("team_count must be >= 1")
+        if self.budget_per_team < 0:
+            raise ValueError("budget_per_team must be non-negative")
+        if not self.strategy_mix:
+            raise ValueError("strategy_mix must not be empty")
+        if any(weight < 0 for weight in self.strategy_mix.values()):
+            raise ValueError("strategy weights must be non-negative")
+        if sum(self.strategy_mix.values()) <= 0:
+            raise ValueError("strategy weights must sum to a positive value")
+
+
+def _make_strategy(kind: str, rng: np.random.Generator) -> BiddingStrategy:
+    seed = int(rng.integers(0, 2**31 - 1))
+    strategy_rng = np.random.default_rng(seed)
+    if kind == "fixed_anchor":
+        return FixedPriceAnchorStrategy(margin=float(rng.uniform(0.4, 1.2)), rng=strategy_rng)
+    if kind == "market_tracker":
+        return MarketTrackerStrategy(
+            margins=AdaptiveMarginModel(initial_margin=float(rng.uniform(0.2, 0.8))),
+            alternatives=int(rng.integers(0, 3)),
+            rng=strategy_rng,
+        )
+    if kind == "relocator":
+        return RelocatorStrategy(
+            relocation=RelocationCostModel(base_cost=float(rng.uniform(20, 120))),
+            candidate_count=int(rng.integers(2, 6)),
+            margins=AdaptiveMarginModel(initial_margin=float(rng.uniform(0.1, 0.5))),
+        )
+    if kind == "premium_payer":
+        return PremiumPayerStrategy(premium=float(rng.uniform(1.0, 3.0)), rng=strategy_rng)
+    if kind == "seller":
+        return SellerStrategy(
+            offer_fraction=float(rng.uniform(0.5, 0.9)),
+            reserve_discount=float(rng.uniform(0.3, 0.7)),
+        )
+    if kind == "lowball":
+        return LowballStrategy(fraction=float(rng.uniform(0.1, 0.5)), rng=strategy_rng)
+    if kind == "arbitrageur":
+        return ArbitrageurStrategy(rng=strategy_rng)
+    raise KeyError(f"unknown strategy kind {kind!r}")
+
+
+def build_population(
+    fleet: SyntheticFleet,
+    spec: PopulationSpec | None = None,
+    *,
+    catalog: ServiceCatalog | None = None,
+    seed: int | np.random.Generator = 0,
+) -> list[TeamAgent]:
+    """Build a population of team agents homed on a synthetic fleet.
+
+    Home clusters are drawn with probability proportional to utilization
+    (raised by ``congested_home_bias``) so that, as in the real system, most
+    existing workloads sit in the congested clusters and the market's job is
+    to move them out.  Demand sizes scale with the home cluster's capacity.
+    """
+    spec = spec or PopulationSpec()
+    catalog = catalog or default_catalog()
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    clusters = fleet.cluster_names()
+    cpu_utils = np.array(
+        [fleet.pool_index.pool(f"{c}/cpu").utilization for c in clusters], dtype=float
+    )
+    weights = spec.congested_home_bias * cpu_utils + (1 - spec.congested_home_bias)
+    weights = weights / weights.sum()
+
+    kinds = list(spec.strategy_mix)
+    kind_weights = np.array([spec.strategy_mix[k] for k in kinds], dtype=float)
+    kind_weights = kind_weights / kind_weights.sum()
+
+    services = catalog.names()
+    agents: list[TeamAgent] = []
+    for i in range(spec.team_count):
+        home = str(rng.choice(clusters, p=weights))
+        home_cpu_capacity = fleet.pool_index.pool(f"{home}/cpu").capacity
+        kind = str(rng.choice(kinds, p=kind_weights))
+
+        # Demand: one or two service requests sized as a fraction of the home cluster.
+        request_count = int(rng.integers(1, 3))
+        requests = []
+        for _ in range(request_count):
+            service = str(rng.choice(services))
+            coverage_cpu = catalog.spec(service).coverage.cpu
+            target_cpu = home_cpu_capacity * spec.demand_scale * float(rng.lognormal(0.0, 0.6))
+            quantity = max(target_cpu / max(coverage_cpu, 1e-6), 1.0)
+            requests.append(ServiceRequest(service=service, cluster=home, quantity=quantity))
+
+        demand = DemandProfile(
+            home_cluster=home,
+            requests=requests,
+            growth_rate=float(rng.uniform(0.0, 0.10)),
+            mobile=bool(rng.random() < 0.75),
+        )
+        agent = TeamAgent(
+            name=f"team-{i:03d}",
+            demand=demand,
+            strategy=_make_strategy(kind, rng),
+            catalog=catalog,
+            budget=spec.budget_per_team,
+        )
+        # Sellers and arbitrageurs need starting holdings to offer: endow them
+        # with quota equal to their current footprint in their home cluster.
+        if kind in ("seller", "arbitrageur"):
+            agent.holdings = demand.covering_bundle(catalog, fleet.pool_index, home)
+        agents.append(agent)
+    return agents
+
+
+def strategy_counts(agents: list[TeamAgent]) -> dict[str, int]:
+    """How many agents use each strategy class (for reporting)."""
+    counts: dict[str, int] = {}
+    for agent in agents:
+        name = type(agent.strategy).__name__
+        counts[name] = counts.get(name, 0) + 1
+    return counts

@@ -1,0 +1,86 @@
+"""Bid-premium statistics (paper Eq. 5 and Table I).
+
+For every winning user the premium is
+
+    gamma_u = |pi_u - x_u . p| / |x_u . p|
+
+i.e. how far the bid's limit price sat above (or below, for sellers) the
+amount actually settled.  Table I reports the median and mean of gamma_u plus
+the fraction of bids that settled, for three consecutive auctions; the same
+statistics are computed here from any :class:`~repro.core.settlement.Settlement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.settlement import Settlement
+
+
+@dataclass(frozen=True)
+class PremiumStats:
+    """One auction's row of Table I."""
+
+    auction: int
+    median_premium: float
+    mean_premium: float
+    settled_fraction: float
+    winner_count: int
+    bidder_count: int
+
+    def as_row(self) -> dict[str, float]:
+        """The row as a plain mapping (for tables and serialization)."""
+        return {
+            "auction": float(self.auction),
+            "median_gamma": self.median_premium,
+            "mean_gamma": self.mean_premium,
+            "pct_settled": self.settled_fraction * 100.0,
+        }
+
+
+def premium_stats(settlement: Settlement, *, auction: int = 0) -> PremiumStats:
+    """Compute Table I statistics for one settled auction."""
+    premiums = settlement.premiums()
+    return PremiumStats(
+        auction=auction,
+        median_premium=float(np.median(premiums)) if premiums else 0.0,
+        mean_premium=float(np.mean(premiums)) if premiums else 0.0,
+        settled_fraction=settlement.settled_fraction(),
+        winner_count=len(settlement.winners),
+        bidder_count=len(settlement.lines),
+    )
+
+
+def premium_table(settlements: Sequence[Settlement], *, first_auction: int = 1) -> list[PremiumStats]:
+    """Table I: one :class:`PremiumStats` row per auction, in order."""
+    return [
+        premium_stats(settlement, auction=first_auction + i)
+        for i, settlement in enumerate(settlements)
+    ]
+
+
+def premium_trend(rows: Sequence[PremiumStats]) -> dict[str, float]:
+    """Summary of how premiums evolve across auctions.
+
+    ``median_ratio_last_to_first`` below 1.0 reproduces the paper's finding
+    that "the median has decreased significantly over time"; the mean is
+    reported too but the paper notes it "has been more variable".
+    """
+    if not rows:
+        raise ValueError("premium_trend needs at least one auction row")
+    first, last = rows[0], rows[-1]
+    return {
+        "median_first": first.median_premium,
+        "median_last": last.median_premium,
+        "median_ratio_last_to_first": (
+            last.median_premium / first.median_premium if first.median_premium > 0 else 0.0
+        ),
+        "mean_first": first.mean_premium,
+        "mean_last": last.mean_premium,
+        "median_monotone_decreasing": float(
+            all(a.median_premium >= b.median_premium - 1e-12 for a, b in zip(rows, rows[1:]))
+        ),
+    }

@@ -1,0 +1,79 @@
+"""Plain-text rendering of analysis results (tables the benchmarks print)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.boxplot import BoxplotStats
+from repro.analysis.premium import PremiumStats
+from repro.analysis.price_ratio import PriceRatioRow
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    formatted_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in formatted_rows)) if formatted_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in formatted_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_premium_table(rows: Sequence[PremiumStats], *, title: str = "Table I: bid premium statistics") -> str:
+    """Render Table I."""
+    return render_table(
+        ["Auction", "Median of gamma_u", "Mean of gamma_u", "% Settled"],
+        [
+            [row.auction, row.median_premium, row.mean_premium, f"{row.settled_fraction * 100:.1f}%"]
+            for row in rows
+        ],
+        title=title,
+    )
+
+
+def render_figure6_rows(
+    rows: Sequence[PriceRatioRow], *, title: str = "Figure 6: market price / fixed price by cluster"
+) -> str:
+    """Render the Figure 6 data series."""
+    return render_table(
+        ["Cluster", "CPU", "RAM", "Disk", "Mean util"],
+        [
+            [row.cluster, row.cpu_ratio, row.ram_ratio, row.disk_ratio, row.mean_utilization]
+            for row in rows
+        ],
+        title=title,
+    )
+
+
+def render_boxplots(
+    boxes: Mapping[str, BoxplotStats], *, title: str = "Figure 7: utilization percentiles of settled transactions"
+) -> str:
+    """Render Figure 7's boxplot summaries."""
+    return render_table(
+        ["Group", "n", "min", "Q1", "median", "Q3", "max", "#outliers"],
+        [
+            [name, box.count, box.minimum, box.q1, box.median, box.q3, box.maximum, len(box.outliers)]
+            for name, box in boxes.items()
+        ],
+        title=title,
+        float_format="{:.1f}",
+    )

@@ -1,0 +1,42 @@
+"""Traditional (non-market) allocation mechanisms used as baselines.
+
+The paper motivates the market by contrast with manual quota setting:
+"Traditionally, such limits / quotas have been set manually according to
+pre-defined policies.  The operator either grants each user an equal share of
+the system or, more likely, decides that certain jobs / users are 'more
+important' than others ... These inefficiencies are manifested through uneven
+utilization, significant shortages and surpluses in certain resource pools."
+
+Three such policies are implemented so the benchmark harness can quantify the
+shortages/surpluses the market removes:
+
+* :class:`FixedPriceAllocator` — first-come-first-served grants at the posted
+  fixed price until each pool runs out;
+* :class:`ProportionalShareAllocator` — everyone's request is scaled down by
+  the pool's oversubscription factor;
+* :class:`PriorityAllocator` — requests are granted in priority order, with
+  lower priorities squeezed out of congested pools.
+"""
+
+from repro.baselines.requests import QuotaRequest, AllocationOutcome
+from repro.baselines.fixed_price import FixedPriceAllocator
+from repro.baselines.proportional import ProportionalShareAllocator
+from repro.baselines.priority import PriorityAllocator
+from repro.baselines.comparison import (
+    AllocationMetrics,
+    allocation_metrics,
+    compare_outcomes,
+    market_outcome_from_settlement,
+)
+
+__all__ = [
+    "QuotaRequest",
+    "AllocationOutcome",
+    "FixedPriceAllocator",
+    "ProportionalShareAllocator",
+    "PriorityAllocator",
+    "AllocationMetrics",
+    "allocation_metrics",
+    "compare_outcomes",
+    "market_outcome_from_settlement",
+]

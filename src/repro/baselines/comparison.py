@@ -1,0 +1,177 @@
+"""Comparing allocation outcomes: shortage, surplus, and utilization balance.
+
+The paper's headline qualitative claim is that the market reduces "the
+excessive shortages and surpluses of more traditional allocation methods" and
+evens out utilization across pools.  This module computes the metrics behind
+that claim for any :class:`~repro.baselines.requests.AllocationOutcome`
+(baseline policies) or market :class:`~repro.core.settlement.Settlement`, so
+the benchmark harness can put them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.requests import AllocationOutcome, QuotaRequest
+from repro.cluster.pools import PoolIndex
+from repro.cluster.utilization import utilization_spread
+from repro.core.settlement import Settlement
+
+
+@dataclass(frozen=True)
+class AllocationMetrics:
+    """Headline metrics of one allocation policy run."""
+
+    policy: str
+    #: Total unmet demand across pools, in cost-weighted units (so CPU shortage
+    #: is not drowned out by disk's larger raw numbers).
+    shortage_cost: float
+    #: Total unallocated available capacity, cost-weighted.
+    surplus_cost: float
+    #: Standard deviation of post-allocation utilization across pools.
+    utilization_spread: float
+    #: Fraction of teams whose request was fully satisfied.
+    satisfied_fraction: float
+    #: Fraction of all requested (cost-weighted) units that were granted.
+    grant_rate: float
+
+
+def _cost_weighted(index: PoolIndex, quantities: np.ndarray) -> float:
+    return float(np.dot(np.clip(quantities, 0.0, None), index.unit_costs()))
+
+
+def _post_allocation_utilization(index: PoolIndex, granted: np.ndarray) -> np.ndarray:
+    capacities = np.maximum(index.capacities(), 1e-9)
+    used = index.utilizations() * capacities + np.clip(granted, 0.0, None)
+    return np.clip(used / capacities, 0.0, 1.0)
+
+
+def allocation_metrics(outcome: AllocationOutcome) -> AllocationMetrics:
+    """Metrics for an allocation outcome (baseline policy or market).
+
+    Shortage and satisfaction are measured *per team and cost-weighted*, not
+    per pool: a team that asked for resources in its congested home cluster
+    but was provisioned an equivalent bundle in an idle cluster is satisfied —
+    that relocation is precisely the market behaviour the paper wants — while
+    a team granted only half of what it needs contributes the missing half to
+    the shortage regardless of which pool it is missing from.  Surplus stays
+    a per-pool quantity (capacity left idle).
+    """
+    index = outcome.index
+    surplus = outcome.surplus()
+    granted = outcome.total_granted()
+    shortage_cost = 0.0
+    satisfied = 0
+    requested_cost_total = 0.0
+    granted_cost_total = 0.0
+    teams = outcome.teams()
+    for team in teams:
+        requested_cost = _cost_weighted(index, outcome.requested[team])
+        granted_cost = _cost_weighted(index, outcome.granted.get(team, np.zeros(len(index))))
+        requested_cost_total += requested_cost
+        granted_cost_total += granted_cost
+        shortage_cost += max(0.0, requested_cost - granted_cost)
+        if granted_cost >= requested_cost * (1.0 - 1e-6):
+            satisfied += 1
+    return AllocationMetrics(
+        policy=outcome.policy,
+        shortage_cost=shortage_cost,
+        surplus_cost=_cost_weighted(index, surplus),
+        utilization_spread=utilization_spread(_post_allocation_utilization(index, granted)),
+        satisfied_fraction=satisfied / len(teams) if teams else 1.0,
+        grant_rate=(granted_cost_total / requested_cost_total) if requested_cost_total > 0 else 1.0,
+    )
+
+
+def market_outcome_from_settlement(
+    settlement: Settlement,
+    requests: Sequence[QuotaRequest] | None = None,
+) -> AllocationOutcome:
+    """Re-express a market settlement as an :class:`AllocationOutcome`.
+
+    The market's "requested" side is taken from ``requests`` when provided
+    (the same underlying demand fed to the baselines) so shortage numbers are
+    comparable; otherwise each winner's own allocation doubles as its request
+    and losers' requests are unknown (zero).
+    """
+    outcome = AllocationOutcome(index=settlement.index, policy="market")
+    requested_by_team: dict[str, np.ndarray] = {}
+    if requests is not None:
+        for request in requests:
+            vec = request.vector(settlement.index)
+            requested_by_team[request.team] = requested_by_team.get(
+                request.team, np.zeros(len(settlement.index))
+            ) + vec
+    for line in settlement.lines:
+        granted = np.clip(line.allocation, 0.0, None)
+        requested = requested_by_team.get(line.bidder)
+        if requested is None:
+            requested = granted.copy()
+        outcome.record(line.bidder, requested, granted)
+    # teams that requested but did not bid/win at all
+    for team, requested in requested_by_team.items():
+        if team not in outcome.requested:
+            outcome.record(team, requested, np.zeros(len(settlement.index)))
+    return outcome
+
+
+def market_outcome_from_quota_delta(
+    index: PoolIndex,
+    requests: Sequence[QuotaRequest],
+    initial_holdings: Mapping[str, Mapping[str, float]],
+    final_holdings: Mapping[str, Mapping[str, float]],
+) -> AllocationOutcome:
+    """Express the market's multi-auction provisioning as an :class:`AllocationOutcome`.
+
+    The market provisions over several periodic auctions (teams that lose one
+    auction raise their bids in the next), so the fair comparison against a
+    one-shot baseline policy is the *cumulative* quota each team acquired:
+    its final holdings minus its initial holdings, clipped to acquisitions.
+    """
+    outcome = AllocationOutcome(index=index, policy="market")
+    granted_by_team: dict[str, np.ndarray] = {}
+    teams = set(initial_holdings) | set(final_holdings)
+    for team in teams:
+        initial = index.vector(dict(initial_holdings.get(team, {})))
+        final = index.vector(dict(final_holdings.get(team, {})))
+        granted_by_team[team] = np.clip(final - initial, 0.0, None)
+    for request in requests:
+        wanted = request.vector(index)
+        granted = granted_by_team.pop(request.team, np.zeros(len(index)))
+        outcome.record(request.team, wanted, granted)
+    # teams that acquired quota without appearing in the baseline request set
+    for team, granted in granted_by_team.items():
+        if np.any(granted > 0):
+            outcome.record(team, np.zeros(len(index)), granted)
+    return outcome
+
+
+def compare_outcomes(outcomes: Sequence[AllocationOutcome]) -> dict[str, AllocationMetrics]:
+    """Metrics for several outcomes keyed by policy name."""
+    result: dict[str, AllocationMetrics] = {}
+    for outcome in outcomes:
+        metrics = allocation_metrics(outcome)
+        result[metrics.policy] = metrics
+    return result
+
+
+def requests_from_demands(
+    index: PoolIndex,
+    demands: Mapping[str, Mapping[str, float]],
+    *,
+    priorities: Mapping[str, int] | None = None,
+) -> list[QuotaRequest]:
+    """Build baseline quota requests from per-team demand bundles.
+
+    ``demands`` maps team -> {pool name: quantity}; ``priorities`` optionally
+    assigns operator priorities (default 0).
+    """
+    priorities = priorities or {}
+    return [
+        QuotaRequest(team=team, quantities=dict(quantities), priority=priorities.get(team, 0))
+        for team, quantities in demands.items()
+        if quantities
+    ]

@@ -1,0 +1,48 @@
+"""Fixed-price, first-come-first-served allocation (the pre-market status quo).
+
+Teams request quota at the operator's posted fixed price; the operator grants
+requests in arrival order until each pool's available capacity is exhausted.
+There is no price signal steering anyone away from congested pools, so popular
+clusters run out (shortage) while unpopular ones sit idle (surplus) — the
+failure mode the market is designed to remove.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.requests import AllocationOutcome, QuotaRequest, validate_requests
+from repro.cluster.pools import PoolIndex
+
+
+class FixedPriceAllocator:
+    """First-come-first-served grants against available pool capacity.
+
+    Parameters
+    ----------
+    partial_grants:
+        If ``True`` (default) a request hitting a depleted pool is granted
+        whatever remains in that pool; if ``False`` the request is
+        all-or-nothing per pool set (closer to how strict quota tickets
+        behaved).
+    """
+
+    def __init__(self, *, partial_grants: bool = True):
+        self.partial_grants = partial_grants
+
+    def allocate(self, index: PoolIndex, requests: Sequence[QuotaRequest]) -> AllocationOutcome:
+        """Grant requests in order against the pools' available capacity."""
+        validate_requests(index, requests)
+        remaining = index.available().copy()
+        outcome = AllocationOutcome(index=index, policy="fixed_price_fcfs")
+        for request in requests:
+            wanted = request.vector(index)
+            if self.partial_grants:
+                granted = np.minimum(wanted, remaining)
+            else:
+                granted = wanted if np.all(wanted <= remaining + 1e-9) else np.zeros_like(wanted)
+            remaining = remaining - granted
+            outcome.record(request.team, wanted, granted)
+        return outcome

@@ -1,0 +1,39 @@
+"""Proportional-share allocation: everyone gets the same fraction of what they asked for.
+
+"The operator either grants each user an equal share of the system..."  When a
+pool is oversubscribed, every request on that pool is scaled down by the same
+factor, so nobody is turned away but nobody in a congested pool gets what they
+actually need — shortages are spread evenly rather than removed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.requests import AllocationOutcome, QuotaRequest, validate_requests
+from repro.cluster.pools import PoolIndex
+
+
+class ProportionalShareAllocator:
+    """Scale every request on an oversubscribed pool by the pool's supply/demand ratio."""
+
+    def allocate(self, index: PoolIndex, requests: Sequence[QuotaRequest]) -> AllocationOutcome:
+        """Grant each team ``min(1, available/demand)`` of its request per pool."""
+        validate_requests(index, requests)
+        outcome = AllocationOutcome(index=index, policy="proportional_share")
+        if not requests:
+            return outcome
+        total_demand = np.zeros(len(index))
+        vectors = []
+        for request in requests:
+            vec = request.vector(index)
+            vectors.append(vec)
+            total_demand += vec
+        available = index.available()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(total_demand > 0, np.minimum(1.0, available / total_demand), 1.0)
+        for request, wanted in zip(requests, vectors):
+            outcome.record(request.team, wanted, wanted * scale)
+        return outcome

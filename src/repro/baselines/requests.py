@@ -1,0 +1,105 @@
+"""Quota requests and allocation outcomes shared by all baseline allocators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.pools import PoolIndex
+
+
+@dataclass(frozen=True)
+class QuotaRequest:
+    """One team's quota request under a traditional allocation policy.
+
+    Unlike a market bid there is no limit price and no indifference set: the
+    team names exactly what it wants (usually in its home cluster) and the
+    operator decides.  ``priority`` is the operator-assigned importance used
+    by the priority policy.
+    """
+
+    team: str
+    quantities: Mapping[str, float]
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.team:
+            raise ValueError("team must be non-empty")
+        if not self.quantities:
+            raise ValueError("request must name at least one pool")
+        if any(qty < 0 for qty in self.quantities.values()):
+            raise ValueError("requested quantities must be non-negative")
+
+    def vector(self, index: PoolIndex) -> np.ndarray:
+        """The request as a vector over ``index``."""
+        return index.vector(dict(self.quantities))
+
+
+@dataclass
+class AllocationOutcome:
+    """What an allocator granted, per team, plus derived shortage/surplus views."""
+
+    index: PoolIndex
+    policy: str
+    granted: dict[str, np.ndarray] = field(default_factory=dict)
+    requested: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def record(self, team: str, requested: np.ndarray, granted: np.ndarray) -> None:
+        """Accumulate one team's requested and granted vectors."""
+        req = self.requested.setdefault(team, np.zeros(len(self.index)))
+        grant = self.granted.setdefault(team, np.zeros(len(self.index)))
+        self.requested[team] = req + requested
+        self.granted[team] = grant + granted
+
+    # -- per-pool aggregates -----------------------------------------------------------
+    def total_requested(self) -> np.ndarray:
+        """Total requested per pool."""
+        total = np.zeros(len(self.index))
+        for vec in self.requested.values():
+            total += vec
+        return total
+
+    def total_granted(self) -> np.ndarray:
+        """Total granted per pool."""
+        total = np.zeros(len(self.index))
+        for vec in self.granted.values():
+            total += vec
+        return total
+
+    def shortage(self) -> np.ndarray:
+        """Requested minus granted, clipped at zero (unmet demand per pool)."""
+        return np.clip(self.total_requested() - self.total_granted(), 0.0, None)
+
+    def surplus(self) -> np.ndarray:
+        """Capacity left unallocated per pool (relative to the *available* capacity)."""
+        return np.clip(self.index.available() - self.total_granted(), 0.0, None)
+
+    def grant_fraction(self, team: str) -> float:
+        """Fraction of a team's requested units that were granted (1.0 if it asked for nothing)."""
+        requested = self.requested.get(team)
+        if requested is None or requested.sum() <= 0:
+            return 1.0
+        granted = self.granted.get(team, np.zeros(len(self.index)))
+        return float(granted.sum() / requested.sum())
+
+    def fully_satisfied_teams(self, *, tol: float = 1e-9) -> list[str]:
+        """Teams whose entire request was granted."""
+        return [
+            team
+            for team in self.requested
+            if np.all(self.granted.get(team, np.zeros(len(self.index))) >= self.requested[team] - tol)
+        ]
+
+    def teams(self) -> list[str]:
+        """All teams that submitted requests."""
+        return list(self.requested)
+
+
+def validate_requests(index: PoolIndex, requests: Sequence[QuotaRequest]) -> None:
+    """Raise ``KeyError`` if any request references a pool missing from ``index``."""
+    for request in requests:
+        for name in request.quantities:
+            if name not in index:
+                raise KeyError(f"request from {request.team!r} references unknown pool {name!r}")

@@ -1,0 +1,185 @@
+"""AST nodes for the tree-based bidding language.
+
+A bid tree expresses which *combinations* of resources a team would accept.
+Leaves name concrete quantities; internal nodes express combinatorial
+structure:
+
+* :class:`AndNode` — the bidder needs **all** children together (e.g. CPU and
+  colocated RAM and disk in the same cluster);
+* :class:`XorNode` — the bidder wants **exactly one** of the children (e.g.
+  "this bundle in cluster A *or* the equivalent bundle in cluster B");
+* :class:`ChooseNode` — the bidder wants exactly ``k`` of the ``n`` children
+  (a bounded form of OR that keeps flattening tractable).
+
+Quantities follow the paper's sign convention: positive quantities are
+demanded, negative quantities are offered for sale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+class BidNode:
+    """Base class for all bid-tree nodes."""
+
+    def children(self) -> tuple["BidNode", ...]:
+        """Child nodes (empty for leaves)."""
+        return ()
+
+    def depth(self) -> int:
+        """Height of the subtree rooted at this node (leaves have depth 1)."""
+        kids = self.children()
+        if not kids:
+            return 1
+        return 1 + max(child.depth() for child in kids)
+
+    def leaf_count(self) -> int:
+        """Number of leaves in the subtree."""
+        kids = self.children()
+        if not kids:
+            return 1
+        return sum(child.leaf_count() for child in kids)
+
+    def to_sexpr(self) -> str:
+        """Render the subtree in the s-expression syntax accepted by the parser."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+@dataclass(frozen=True)
+class PoolLeaf(BidNode):
+    """A quantity of one named resource pool, e.g. 100 units of ``cluster-07/cpu``."""
+
+    pool_name: str
+    quantity: float
+
+    def __post_init__(self) -> None:
+        if not self.pool_name:
+            raise ValueError("pool_name must be non-empty")
+        if self.quantity == 0:
+            raise ValueError("a pool leaf must name a non-zero quantity")
+
+    def to_sexpr(self) -> str:
+        return f"(pool {self.pool_name} {self.quantity!r})"
+
+
+@dataclass(frozen=True)
+class ClusterLeaf(BidNode):
+    """A CPU/RAM/disk triple in one cluster — the common 'colocated bundle' shorthand.
+
+    Equivalent to an :class:`AndNode` over three :class:`PoolLeaf` children but
+    far more convenient, since almost every real request is of this shape
+    ("CPUs in a particular place are probably not useful unless the user can
+    get colocated memory, disk, and network resources as well").
+    """
+
+    cluster: str
+    cpu: float = 0.0
+    ram: float = 0.0
+    disk: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.cluster:
+            raise ValueError("cluster must be non-empty")
+        if self.cpu == 0 and self.ram == 0 and self.disk == 0:
+            raise ValueError("a cluster leaf must name at least one non-zero quantity")
+
+    def quantities(self) -> dict[str, float]:
+        """``{pool name: quantity}`` for the non-zero dimensions."""
+        out: dict[str, float] = {}
+        if self.cpu:
+            out[f"{self.cluster}/cpu"] = self.cpu
+        if self.ram:
+            out[f"{self.cluster}/ram"] = self.ram
+        if self.disk:
+            out[f"{self.cluster}/disk"] = self.disk
+        return out
+
+    def to_sexpr(self) -> str:
+        return f"(cluster {self.cluster} {self.cpu!r} {self.ram!r} {self.disk!r})"
+
+
+@dataclass(frozen=True)
+class AndNode(BidNode):
+    """All children must be obtained together."""
+
+    parts: tuple[BidNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 1:
+            raise ValueError("an AND node needs at least one child")
+
+    def children(self) -> tuple[BidNode, ...]:
+        return self.parts
+
+    def to_sexpr(self) -> str:
+        inner = " ".join(child.to_sexpr() for child in self.parts)
+        return f"(and {inner})"
+
+
+@dataclass(frozen=True)
+class XorNode(BidNode):
+    """Exactly one of the children is obtained (the paper's XOR indifference)."""
+
+    alternatives: tuple[BidNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.alternatives) < 1:
+            raise ValueError("an XOR node needs at least one child")
+
+    def children(self) -> tuple[BidNode, ...]:
+        return self.alternatives
+
+    def to_sexpr(self) -> str:
+        inner = " ".join(child.to_sexpr() for child in self.alternatives)
+        return f"(xor {inner})"
+
+
+@dataclass(frozen=True)
+class ChooseNode(BidNode):
+    """Exactly ``k`` of the children are obtained (bounded OR)."""
+
+    k: int
+    options: tuple[BidNode, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 1:
+            raise ValueError("a CHOOSE node needs at least one child")
+        if not (1 <= self.k <= len(self.options)):
+            raise ValueError(
+                f"CHOOSE k={self.k} is out of range for {len(self.options)} children"
+            )
+
+    def children(self) -> tuple[BidNode, ...]:
+        return self.options
+
+    def to_sexpr(self) -> str:
+        inner = " ".join(child.to_sexpr() for child in self.options)
+        return f"(choose {self.k} {inner})"
+
+
+# -- fluent constructors ---------------------------------------------------------
+def pool(pool_name: str, quantity: float) -> PoolLeaf:
+    """Leaf: ``quantity`` units of ``pool_name``."""
+    return PoolLeaf(pool_name=pool_name, quantity=quantity)
+
+
+def cluster_bundle(cluster: str, *, cpu: float = 0.0, ram: float = 0.0, disk: float = 0.0) -> ClusterLeaf:
+    """Leaf: a colocated CPU/RAM/disk bundle in ``cluster``."""
+    return ClusterLeaf(cluster=cluster, cpu=cpu, ram=ram, disk=disk)
+
+
+def and_(*parts: BidNode) -> AndNode:
+    """AND combinator."""
+    return AndNode(parts=tuple(parts))
+
+
+def xor(*alternatives: BidNode) -> XorNode:
+    """XOR combinator."""
+    return XorNode(alternatives=tuple(alternatives))
+
+
+def choose(k: int, *options: BidNode) -> ChooseNode:
+    """CHOOSE-k combinator."""
+    return ChooseNode(k=k, options=tuple(options))

@@ -1,0 +1,174 @@
+"""Parsers for the bidding language: s-expressions and JSON-style mappings.
+
+Two equivalent surface syntaxes are provided so bids can be written by hand
+(s-expressions) or generated programmatically / stored (JSON):
+
+S-expression form::
+
+    (xor
+      (cluster cluster-01 100 400 10000)
+      (and (pool cluster-02/cpu 100) (pool cluster-02/ram 400))
+      (choose 1 (cluster cluster-03 100 400 10000)
+                (cluster cluster-04 100 400 10000)))
+
+JSON form::
+
+    {"xor": [
+        {"cluster": "cluster-01", "cpu": 100, "ram": 400, "disk": 10000},
+        {"and": [{"pool": "cluster-02/cpu", "quantity": 100},
+                  {"pool": "cluster-02/ram", "quantity": 400}]},
+        {"choose": 1, "options": [...]}
+    ]}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.bidlang.ast import (
+    AndNode,
+    BidNode,
+    ChooseNode,
+    ClusterLeaf,
+    PoolLeaf,
+    XorNode,
+)
+
+
+class BidLanguageSyntaxError(ValueError):
+    """The bid text or mapping does not conform to the bidding language."""
+
+
+# ---------------------------------------------------------------------------
+# S-expression syntax
+# ---------------------------------------------------------------------------
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    current = ""
+    for ch in text:
+        if ch in "()":
+            if current:
+                tokens.append(current)
+                current = ""
+            tokens.append(ch)
+        elif ch.isspace():
+            if current:
+                tokens.append(current)
+                current = ""
+        else:
+            current += ch
+    if current:
+        tokens.append(current)
+    return tokens
+
+
+def _parse_tokens(tokens: list[str], pos: int) -> tuple[Any, int]:
+    if pos >= len(tokens):
+        raise BidLanguageSyntaxError("unexpected end of input")
+    token = tokens[pos]
+    if token == "(":
+        items: list[Any] = []
+        pos += 1
+        while pos < len(tokens) and tokens[pos] != ")":
+            item, pos = _parse_tokens(tokens, pos)
+            items.append(item)
+        if pos >= len(tokens):
+            raise BidLanguageSyntaxError("missing closing parenthesis")
+        return items, pos + 1
+    if token == ")":
+        raise BidLanguageSyntaxError("unexpected closing parenthesis")
+    return token, pos + 1
+
+
+def _number(token: Any, context: str) -> float:
+    try:
+        return float(token)
+    except (TypeError, ValueError) as exc:
+        raise BidLanguageSyntaxError(f"expected a number in {context}, got {token!r}") from exc
+
+
+def _build_sexpr(item: Any) -> BidNode:
+    if not isinstance(item, list) or not item:
+        raise BidLanguageSyntaxError(f"expected a parenthesised form, got {item!r}")
+    head = item[0]
+    if not isinstance(head, str):
+        raise BidLanguageSyntaxError(f"expected an operator name, got {head!r}")
+    op = head.lower()
+    args = item[1:]
+    if op == "pool":
+        if len(args) != 2:
+            raise BidLanguageSyntaxError("(pool NAME QUANTITY) takes exactly two arguments")
+        return PoolLeaf(pool_name=str(args[0]), quantity=_number(args[1], "pool leaf"))
+    if op == "cluster":
+        if len(args) != 4:
+            raise BidLanguageSyntaxError("(cluster NAME CPU RAM DISK) takes exactly four arguments")
+        return ClusterLeaf(
+            cluster=str(args[0]),
+            cpu=_number(args[1], "cluster leaf"),
+            ram=_number(args[2], "cluster leaf"),
+            disk=_number(args[3], "cluster leaf"),
+        )
+    if op == "and":
+        if not args:
+            raise BidLanguageSyntaxError("(and ...) needs at least one child")
+        return AndNode(parts=tuple(_build_sexpr(a) for a in args))
+    if op == "xor":
+        if not args:
+            raise BidLanguageSyntaxError("(xor ...) needs at least one child")
+        return XorNode(alternatives=tuple(_build_sexpr(a) for a in args))
+    if op == "choose":
+        if len(args) < 2:
+            raise BidLanguageSyntaxError("(choose K child...) needs a count and at least one child")
+        k = int(_number(args[0], "choose count"))
+        return ChooseNode(k=k, options=tuple(_build_sexpr(a) for a in args[1:]))
+    raise BidLanguageSyntaxError(f"unknown operator {head!r}")
+
+
+def parse_sexpr(text: str) -> BidNode:
+    """Parse one bid tree written in the s-expression syntax."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise BidLanguageSyntaxError("empty bid text")
+    tree, pos = _parse_tokens(tokens, 0)
+    if pos != len(tokens):
+        raise BidLanguageSyntaxError("trailing content after the bid expression")
+    return _build_sexpr(tree)
+
+
+# ---------------------------------------------------------------------------
+# JSON-style mapping syntax
+# ---------------------------------------------------------------------------
+def parse_json(data: Mapping[str, Any]) -> BidNode:
+    """Parse one bid tree expressed as nested mappings (already-decoded JSON)."""
+    if not isinstance(data, Mapping):
+        raise BidLanguageSyntaxError(f"expected a mapping, got {type(data).__name__}")
+    if "pool" in data:
+        return PoolLeaf(pool_name=str(data["pool"]), quantity=_number(data.get("quantity"), "pool leaf"))
+    if "cluster" in data:
+        return ClusterLeaf(
+            cluster=str(data["cluster"]),
+            cpu=_number(data.get("cpu", 0.0), "cluster leaf"),
+            ram=_number(data.get("ram", 0.0), "cluster leaf"),
+            disk=_number(data.get("disk", 0.0), "cluster leaf"),
+        )
+    if "and" in data:
+        children = data["and"]
+        _require_children(children, "and")
+        return AndNode(parts=tuple(parse_json(child) for child in children))
+    if "xor" in data:
+        children = data["xor"]
+        _require_children(children, "xor")
+        return XorNode(alternatives=tuple(parse_json(child) for child in children))
+    if "choose" in data:
+        options = data.get("options")
+        _require_children(options, "choose")
+        k = int(_number(data["choose"], "choose count"))
+        return ChooseNode(k=k, options=tuple(parse_json(child) for child in options))
+    raise BidLanguageSyntaxError(
+        f"mapping does not name a known node type (keys: {sorted(data.keys())})"
+    )
+
+
+def _require_children(children: Any, op: str) -> None:
+    if not isinstance(children, Sequence) or isinstance(children, (str, bytes)) or not children:
+        raise BidLanguageSyntaxError(f"{op!r} node needs a non-empty list of children")

@@ -1,0 +1,63 @@
+"""Planet-wide cluster substrate.
+
+This package models the physical substrate underneath the resource market:
+machines grouped into clusters at geographically distributed sites, jobs placed
+onto machines by a bin-packing scheduler, and the resulting per-pool utilization
+statistics that feed the congestion-weighted reserve pricing of the auction
+(:mod:`repro.core.reserve`).
+
+The paper's experiments ran against Google's production clusters; here the
+substrate is synthetic but exposes the same interface the market needs:
+
+* **resource pools** — a (cluster, resource-type) pair such as ``"cluster-07/cpu"``
+  with a total capacity, a unit cost, and a current utilization percentile;
+* **fleet generation** — builders for heterogeneous planet-wide fleets with a
+  controllable utilization spread (congested vs. idle clusters).
+"""
+
+from repro.cluster.resources import (
+    ResourceType,
+    ResourceVector,
+    RESOURCE_TYPES,
+    cpu_ram_disk,
+)
+from repro.cluster.jobs import Job, JobState, make_job_batch
+from repro.cluster.machine import Machine
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import Site, FleetTopology
+from repro.cluster.pools import ResourcePool, PoolIndex
+from repro.cluster.scheduler import (
+    BinPackingScheduler,
+    FirstFitPolicy,
+    BestFitPolicy,
+    WorstFitPolicy,
+    PlacementResult,
+)
+from repro.cluster.utilization import UtilizationSnapshot, utilization_percentiles
+from repro.cluster.fleet_gen import FleetSpec, SyntheticFleet, generate_fleet
+
+__all__ = [
+    "ResourceType",
+    "ResourceVector",
+    "RESOURCE_TYPES",
+    "cpu_ram_disk",
+    "Job",
+    "JobState",
+    "make_job_batch",
+    "Machine",
+    "Cluster",
+    "Site",
+    "FleetTopology",
+    "ResourcePool",
+    "PoolIndex",
+    "BinPackingScheduler",
+    "FirstFitPolicy",
+    "BestFitPolicy",
+    "WorstFitPolicy",
+    "PlacementResult",
+    "UtilizationSnapshot",
+    "utilization_percentiles",
+    "FleetSpec",
+    "SyntheticFleet",
+    "generate_fleet",
+]

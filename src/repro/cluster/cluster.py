@@ -1,0 +1,117 @@
+"""A cluster: a named collection of machines at one site."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cluster.jobs import Job
+from repro.cluster.machine import Machine
+from repro.cluster.resources import (
+    RESOURCE_TYPES,
+    ResourceType,
+    ResourceVector,
+    cpu_ram_disk,
+    sum_vectors,
+)
+
+
+@dataclass
+class Cluster:
+    """One cluster in the planet-wide fleet.
+
+    A cluster aggregates machines and reports capacity / usage / utilization
+    per resource dimension.  The market's resource pools are (cluster,
+    resource-type) pairs, so this object is the source of truth for each
+    pool's capacity and pre-auction utilization ``psi(r)``.
+    """
+
+    name: str
+    site: str = "site-0"
+    machines: list[Machine] = field(default_factory=list)
+    #: Extra utilization (fraction, per resource type) contributed by workloads
+    #: outside the simulated job set (system daemons, unmodeled tenants).
+    #: Lets fleet generators hit an exact utilization target without placing
+    #: thousands of filler jobs.
+    background_load: dict[ResourceType, float] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+    @staticmethod
+    def homogeneous(
+        name: str,
+        *,
+        machine_count: int,
+        machine_capacity: ResourceVector | None = None,
+        site: str = "site-0",
+    ) -> "Cluster":
+        """Build a cluster of ``machine_count`` identical machines."""
+        if machine_count < 0:
+            raise ValueError("machine_count must be non-negative")
+        capacity = machine_capacity or cpu_ram_disk(32.0, 128.0, 4000.0)
+        machines = [
+            Machine(name=f"{name}/m{i:05d}", capacity=capacity) for i in range(machine_count)
+        ]
+        return Cluster(name=name, site=site, machines=machines)
+
+    def add_machines(self, machines: Iterable[Machine]) -> None:
+        """Append machines to the cluster."""
+        self.machines.extend(machines)
+
+    # -- capacity accounting --------------------------------------------------
+    @property
+    def capacity(self) -> ResourceVector:
+        """Total capacity across all machines."""
+        return sum_vectors(machine.capacity for machine in self.machines)
+
+    @property
+    def used(self) -> ResourceVector:
+        """Resources consumed by placed jobs plus background load."""
+        placed = sum_vectors(machine.used for machine in self.machines)
+        background = ResourceVector(
+            cpu=self.capacity.cpu * self.background_load.get(ResourceType.CPU, 0.0),
+            ram=self.capacity.ram * self.background_load.get(ResourceType.RAM, 0.0),
+            disk=self.capacity.disk * self.background_load.get(ResourceType.DISK, 0.0),
+        )
+        return placed + background
+
+    @property
+    def free(self) -> ResourceVector:
+        """Remaining capacity (clamped at zero)."""
+        return (self.capacity - self.used).clamp_nonnegative()
+
+    def utilization(self, rtype: ResourceType) -> float:
+        """Utilization fraction in [0, 1] for one resource dimension."""
+        cap = self.capacity.get(rtype)
+        if cap <= 0.0:
+            return 0.0
+        return min(1.0, max(0.0, self.used.get(rtype) / cap))
+
+    def utilization_vector(self) -> dict[ResourceType, float]:
+        """Utilization fraction per resource dimension."""
+        return {rtype: self.utilization(rtype) for rtype in RESOURCE_TYPES}
+
+    def set_background_load(self, loads: dict[ResourceType, float]) -> None:
+        """Set the background utilization fractions (clamped to [0, 1])."""
+        self.background_load = {
+            rtype: min(1.0, max(0.0, frac)) for rtype, frac in loads.items()
+        }
+
+    # -- job queries -----------------------------------------------------------
+    def jobs(self) -> list[Job]:
+        """All jobs currently placed in this cluster."""
+        result: list[Job] = []
+        for machine in self.machines:
+            result.extend(machine.jobs.values())
+        return result
+
+    def jobs_by_owner(self, owner: str) -> list[Job]:
+        """Jobs in this cluster owned by ``owner``."""
+        return [job for job in self.jobs() if job.owner == owner]
+
+    def clear_jobs(self) -> None:
+        """Evict every job from every machine (background load is kept)."""
+        for machine in self.machines:
+            machine.clear()
+
+    def __len__(self) -> int:
+        return len(self.machines)

@@ -1,0 +1,91 @@
+"""A single machine: capacity, current allocation, and job placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.jobs import Job, JobState
+from repro.cluster.resources import RESOURCE_TYPES, ResourceType, ResourceVector
+
+
+class CapacityError(RuntimeError):
+    """Raised when a placement would exceed a machine's capacity."""
+
+
+@dataclass
+class Machine:
+    """One physical machine inside a cluster.
+
+    Machines track the set of jobs placed on them and expose free/used
+    capacity per resource dimension.  Placement is all-or-nothing: a job
+    either fits in the remaining free capacity or the placement fails.
+    """
+
+    name: str
+    capacity: ResourceVector
+    jobs: dict[int, Job] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.capacity.is_nonnegative():
+            raise ValueError(f"machine capacity must be non-negative, got {self.capacity}")
+
+    # -- capacity accounting -----------------------------------------------
+    @property
+    def used(self) -> ResourceVector:
+        """Sum of footprints of all jobs currently placed on this machine."""
+        total = ResourceVector.zero()
+        for job in self.jobs.values():
+            total = total + job.footprint
+        return total
+
+    @property
+    def free(self) -> ResourceVector:
+        """Remaining capacity on this machine."""
+        return self.capacity - self.used
+
+    def utilization(self, rtype: ResourceType) -> float:
+        """Utilization fraction (0..1) of one resource dimension."""
+        cap = self.capacity.get(rtype)
+        if cap <= 0.0:
+            return 0.0
+        return min(1.0, self.used.get(rtype) / cap)
+
+    def dominant_utilization(self) -> float:
+        """Largest utilization fraction across resource dimensions."""
+        return max(self.utilization(rtype) for rtype in RESOURCE_TYPES)
+
+    # -- placement -----------------------------------------------------------
+    def can_fit(self, job: Job) -> bool:
+        """True iff ``job``'s full footprint fits in the free capacity."""
+        return job.footprint.fits_within(self.free)
+
+    def place(self, job: Job) -> None:
+        """Place ``job`` on this machine, raising :class:`CapacityError` if it does not fit."""
+        if job.job_id in self.jobs:
+            raise CapacityError(f"job {job.name} is already placed on {self.name}")
+        if not self.can_fit(job):
+            raise CapacityError(
+                f"job {job.name} footprint {job.footprint} does not fit in free {self.free} on {self.name}"
+            )
+        self.jobs[job.job_id] = job
+        job.state = JobState.RUNNING
+
+    def evict(self, job: Job) -> None:
+        """Remove ``job`` from this machine (e.g. priority preemption)."""
+        if job.job_id not in self.jobs:
+            raise KeyError(f"job {job.name} is not placed on {self.name}")
+        del self.jobs[job.job_id]
+        job.state = JobState.EVICTED
+
+    def finish(self, job: Job) -> None:
+        """Mark ``job`` finished and release its resources."""
+        if job.job_id not in self.jobs:
+            raise KeyError(f"job {job.name} is not placed on {self.name}")
+        del self.jobs[job.job_id]
+        job.state = JobState.FINISHED
+
+    def clear(self) -> None:
+        """Remove all jobs (used when regenerating utilization scenarios)."""
+        for job in list(self.jobs.values()):
+            job.state = JobState.PENDING
+        self.jobs.clear()

@@ -1,0 +1,232 @@
+"""Resource pools and the pool index.
+
+A *resource pool* is the unit the market prices: one (cluster, resource-type)
+pair, e.g. ``cluster-07/cpu``.  The :class:`PoolIndex` assigns each pool a
+dense integer index so the auction core can represent bundles, prices, and
+excess demand as flat numpy vectors of length ``R`` (the number of pools).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import DEFAULT_UNIT_COSTS, RESOURCE_TYPES, ResourceType
+from repro.cluster.topology import FleetTopology
+
+
+@dataclass(frozen=True)
+class ResourcePool:
+    """One tradeable resource pool: a resource type inside a cluster.
+
+    Attributes
+    ----------
+    cluster:
+        Name of the cluster the pool lives in.
+    rtype:
+        The resource dimension (CPU / RAM / disk).
+    capacity:
+        Total capacity of the pool in resource units.
+    unit_cost:
+        The operator's real cost ``c(r)`` per unit, the base of the
+        congestion-weighted reserve price (paper Eq. 4).
+    utilization:
+        Current pre-auction utilization fraction ``psi(r)`` in [0, 1].
+    """
+
+    cluster: str
+    rtype: ResourceType
+    capacity: float
+    unit_cost: float
+    utilization: float
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"pool capacity must be non-negative, got {self.capacity}")
+        if self.unit_cost < 0:
+            raise ValueError(f"pool unit cost must be non-negative, got {self.unit_cost}")
+        if not (0.0 <= self.utilization <= 1.0):
+            raise ValueError(f"pool utilization must lie in [0, 1], got {self.utilization}")
+
+    @property
+    def name(self) -> str:
+        """Canonical pool name, e.g. ``"cluster-07/cpu"``."""
+        return f"{self.cluster}/{self.rtype.value}"
+
+    @property
+    def available(self) -> float:
+        """Unused capacity in resource units."""
+        return self.capacity * (1.0 - self.utilization)
+
+    def with_utilization(self, utilization: float) -> "ResourcePool":
+        """Return a copy of this pool with a different utilization."""
+        return ResourcePool(
+            cluster=self.cluster,
+            rtype=self.rtype,
+            capacity=self.capacity,
+            unit_cost=self.unit_cost,
+            utilization=float(np.clip(utilization, 0.0, 1.0)),
+        )
+
+
+class PoolIndex:
+    """Dense indexing of resource pools for vectorized auction math.
+
+    The index is ordered and immutable once built.  Bundles, prices, reserve
+    prices, and excess-demand vectors are all numpy arrays of length
+    ``len(index)`` whose ``i``-th entry refers to ``index.pools[i]``.
+    """
+
+    def __init__(self, pools: Sequence[ResourcePool]):
+        if not pools:
+            raise ValueError("PoolIndex requires at least one pool")
+        names = [pool.name for pool in pools]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate pool names: {dupes}")
+        self._pools: tuple[ResourcePool, ...] = tuple(pools)
+        self._by_name: dict[str, int] = {pool.name: i for i, pool in enumerate(self._pools)}
+
+    # -- basic accessors -------------------------------------------------------
+    @property
+    def pools(self) -> tuple[ResourcePool, ...]:
+        """All pools in index order."""
+        return self._pools
+
+    @property
+    def names(self) -> list[str]:
+        """Pool names in index order."""
+        return [pool.name for pool in self._pools]
+
+    def __len__(self) -> int:
+        return len(self._pools)
+
+    def __iter__(self) -> Iterator[ResourcePool]:
+        return iter(self._pools)
+
+    def index_of(self, name: str) -> int:
+        """Dense index of the pool named ``name``."""
+        return self._by_name[name]
+
+    def pool(self, name: str) -> ResourcePool:
+        """The pool named ``name``."""
+        return self._pools[self._by_name[name]]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def pools_of_cluster(self, cluster: str) -> list[ResourcePool]:
+        """All pools belonging to ``cluster``."""
+        return [pool for pool in self._pools if pool.cluster == cluster]
+
+    def pools_of_type(self, rtype: ResourceType) -> list[ResourcePool]:
+        """All pools of one resource dimension across clusters."""
+        return [pool for pool in self._pools if pool.rtype == rtype]
+
+    def clusters(self) -> list[str]:
+        """Cluster names present in the index, in first-appearance order."""
+        seen: list[str] = []
+        for pool in self._pools:
+            if pool.cluster not in seen:
+                seen.append(pool.cluster)
+        return seen
+
+    # -- vector views ----------------------------------------------------------
+    def capacities(self) -> np.ndarray:
+        """Vector of pool capacities."""
+        return np.array([pool.capacity for pool in self._pools], dtype=float)
+
+    def unit_costs(self) -> np.ndarray:
+        """Vector of operator unit costs c(r)."""
+        return np.array([pool.unit_cost for pool in self._pools], dtype=float)
+
+    def utilizations(self) -> np.ndarray:
+        """Vector of pre-auction utilizations psi(r)."""
+        return np.array([pool.utilization for pool in self._pools], dtype=float)
+
+    def available(self) -> np.ndarray:
+        """Vector of unused capacity per pool."""
+        return np.array([pool.available for pool in self._pools], dtype=float)
+
+    # -- vector construction -----------------------------------------------------
+    def vector(self, quantities: Mapping[str, float]) -> np.ndarray:
+        """Build a bundle vector from a ``{pool name: quantity}`` mapping.
+
+        Positive quantities are demands, negative quantities are offers,
+        matching the sign convention of the paper's bundle vectors ``q_u``.
+        """
+        vec = np.zeros(len(self._pools), dtype=float)
+        for name, qty in quantities.items():
+            if name not in self._by_name:
+                raise KeyError(f"unknown pool {name!r}; known pools: {sorted(self._by_name)[:5]}...")
+            vec[self._by_name[name]] = float(qty)
+        return vec
+
+    def cluster_bundle(
+        self, cluster: str, *, cpu: float = 0.0, ram: float = 0.0, disk: float = 0.0
+    ) -> np.ndarray:
+        """Bundle vector demanding/offering CPU, RAM, and disk in one cluster."""
+        quantities: dict[str, float] = {}
+        amounts = {ResourceType.CPU: cpu, ResourceType.RAM: ram, ResourceType.DISK: disk}
+        for rtype, qty in amounts.items():
+            if qty != 0.0:
+                quantities[f"{cluster}/{rtype.value}"] = qty
+        if not quantities:
+            return np.zeros(len(self._pools), dtype=float)
+        return self.vector(quantities)
+
+    def describe(self, vec: np.ndarray, *, tol: float = 1e-12) -> dict[str, float]:
+        """Invert :meth:`vector`: the non-zero entries of ``vec`` keyed by pool name."""
+        if vec.shape != (len(self._pools),):
+            raise ValueError(f"vector has shape {vec.shape}, expected ({len(self._pools)},)")
+        return {
+            self._pools[i].name: float(vec[i])
+            for i in range(len(self._pools))
+            if abs(vec[i]) > tol
+        }
+
+    # -- replacement -------------------------------------------------------------
+    def with_utilizations(self, utilizations: Mapping[str, float] | np.ndarray) -> "PoolIndex":
+        """Return a new index with updated utilizations (same pools, same order)."""
+        if isinstance(utilizations, np.ndarray):
+            if utilizations.shape != (len(self._pools),):
+                raise ValueError("utilization vector has wrong length")
+            values = {pool.name: float(utilizations[i]) for i, pool in enumerate(self._pools)}
+        else:
+            values = dict(utilizations)
+        new_pools = [
+            pool.with_utilization(values.get(pool.name, pool.utilization)) for pool in self._pools
+        ]
+        return PoolIndex(new_pools)
+
+
+def pools_from_topology(
+    topology: FleetTopology | Iterable[Cluster],
+    *,
+    unit_costs: Mapping[ResourceType, float] | None = None,
+) -> PoolIndex:
+    """Build a :class:`PoolIndex` from a fleet topology or a plain cluster list.
+
+    One pool is created per (cluster, resource type); capacity and utilization
+    are read off the cluster's current state, unit costs default to
+    :data:`repro.cluster.resources.DEFAULT_UNIT_COSTS`.
+    """
+    costs = dict(DEFAULT_UNIT_COSTS if unit_costs is None else unit_costs)
+    clusters = list(topology) if not isinstance(topology, FleetTopology) else list(topology)
+    pools: list[ResourcePool] = []
+    for cluster in clusters:
+        capacity = cluster.capacity
+        for rtype in RESOURCE_TYPES:
+            pools.append(
+                ResourcePool(
+                    cluster=cluster.name,
+                    rtype=rtype,
+                    capacity=capacity.get(rtype),
+                    unit_cost=costs.get(rtype, 0.0),
+                    utilization=cluster.utilization(rtype),
+                )
+            )
+    return PoolIndex(pools)

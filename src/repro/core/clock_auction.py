@@ -1,0 +1,268 @@
+"""The ascending clock auction (paper Section III-C, Algorithm 1, Figure 1).
+
+The auctioneer maintains a price "clock" per resource pool.  Each round it
+collects the demand of every bidder proxy at the current prices, computes the
+excess demand ``z(t) = sum_u x_u(t) - supply``, and either stops (no pool is
+over-demanded) or raises the prices of over-demanded pools according to the
+configured increment policy and repeats.
+
+Key properties implemented/verified here:
+
+* prices increase monotonically from the reserve prices;
+* the auction terminates when excess demand is component-wise non-positive;
+* with only pure buyers (plus the operator's supply) termination is
+  guaranteed; with traders it may not be, so a round limit plus a divergence
+  guard raise :class:`ConvergenceError` instead of looping forever;
+* the full round-by-round trace (prices, excess demand, active bidders) is
+  recorded for analysis and for the Figure 1 / Algorithm 1 reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.pools import PoolIndex
+from repro.core.bids import Bid, BidderClass, classify_bidder
+from repro.core.increment import IncrementPolicy, default_increment
+from repro.core.proxy import BidderProxy
+
+
+class ConvergenceError(RuntimeError):
+    """The clock auction failed to clear within the configured round limit."""
+
+
+@dataclass(frozen=True)
+class AuctionConfig:
+    """Tunable parameters of the clock auction.
+
+    Attributes
+    ----------
+    max_rounds:
+        Hard limit on the number of price updates before giving up.
+    tolerance:
+        Excess demand below this (per pool, in resource units relative to the
+        pool scale) counts as cleared.
+    stall_rounds:
+        If prices stop moving for this many consecutive rounds while excess
+        demand persists, the auction aborts early (it would never clear).
+    record_bidder_demands:
+        If ``True``, each round records every bidder's individual demand
+        vector (memory-heavier; useful for debugging and small experiments).
+    """
+
+    max_rounds: int = 10_000
+    tolerance: float = 1e-9
+    stall_rounds: int = 50
+    record_bidder_demands: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if self.stall_rounds < 1:
+            raise ValueError("stall_rounds must be >= 1")
+
+
+@dataclass(frozen=True)
+class AuctionRound:
+    """State of one round ``t`` of the clock auction."""
+
+    round_index: int
+    prices: np.ndarray
+    excess_demand: np.ndarray
+    active_bidders: int
+    #: Individual bidder demand vectors, present only when
+    #: :attr:`AuctionConfig.record_bidder_demands` is set.
+    bidder_demands: dict[str, np.ndarray] | None = None
+
+    @property
+    def over_demanded_pools(self) -> np.ndarray:
+        """Boolean mask of pools with strictly positive excess demand."""
+        return self.excess_demand > 0
+
+
+@dataclass
+class AuctionOutcome:
+    """Result of running the clock auction to completion."""
+
+    index: PoolIndex
+    converged: bool
+    final_prices: np.ndarray
+    final_demands: dict[str, np.ndarray]
+    excess_demand: np.ndarray
+    rounds: list[AuctionRound] = field(default_factory=list)
+    reserve_prices: np.ndarray | None = None
+
+    @property
+    def round_count(self) -> int:
+        """Number of price-update rounds executed."""
+        return len(self.rounds)
+
+    def price_map(self) -> dict[str, float]:
+        """Final prices keyed by pool name."""
+        return {pool.name: float(self.final_prices[i]) for i, pool in enumerate(self.index)}
+
+    def price_trajectory(self, pool_name: str) -> np.ndarray:
+        """The price of one pool across all recorded rounds."""
+        i = self.index.index_of(pool_name)
+        return np.array([r.prices[i] for r in self.rounds], dtype=float)
+
+    def active_bidder_counts(self) -> list[int]:
+        """Number of active (non-dropped-out) bidders per round."""
+        return [r.active_bidders for r in self.rounds]
+
+
+class AscendingClockAuction:
+    """Runs Algorithm 1 over a set of sealed bids.
+
+    Parameters
+    ----------
+    index:
+        The pool index all bids are expressed over.
+    bids:
+        Sealed bids; each is wrapped in a :class:`BidderProxy`.
+    reserve_prices:
+        Starting prices ``p_tilde`` (typically from
+        :class:`repro.core.reserve.ReservePricer`).  Must be non-negative.
+    supply:
+        Optional non-negative vector of resources the operator makes available
+        to the market on top of what selling bidders offer.  The clearing
+        condition becomes ``sum_u x_u(t) <= supply``; passing zeros (default)
+        recovers the paper's ``sum_u x_u <= 0`` where all supply must come
+        from selling participants.
+    increment:
+        Price-increment policy; defaults to
+        :func:`repro.core.increment.default_increment` built from pool capacities.
+    config:
+        Round limits and tolerances.
+    """
+
+    def __init__(
+        self,
+        index: PoolIndex,
+        bids: Sequence[Bid],
+        *,
+        reserve_prices: np.ndarray | Sequence[float],
+        supply: np.ndarray | Sequence[float] | None = None,
+        increment: IncrementPolicy | None = None,
+        config: AuctionConfig | None = None,
+    ):
+        self.index = index
+        self.bids = list(bids)
+        for bid in self.bids:
+            if bid.index.names != index.names:
+                raise ValueError(
+                    f"bid from {bid.bidder!r} is defined over a different pool index"
+                )
+        self.reserve_prices = np.asarray(reserve_prices, dtype=float).copy()
+        if self.reserve_prices.shape != (len(index),):
+            raise ValueError(
+                f"reserve prices have shape {self.reserve_prices.shape}, expected ({len(index)},)"
+            )
+        if np.any(self.reserve_prices < 0) or not np.all(np.isfinite(self.reserve_prices)):
+            raise ValueError("reserve prices must be finite and non-negative")
+        if supply is None:
+            self.supply = np.zeros(len(index), dtype=float)
+        else:
+            self.supply = np.asarray(supply, dtype=float).copy()
+            if self.supply.shape != (len(index),):
+                raise ValueError("supply vector has the wrong length")
+            if np.any(self.supply < 0):
+                raise ValueError("supply must be non-negative")
+        self.increment = increment or default_increment(index.capacities())
+        self.config = config or AuctionConfig()
+        self.proxies = [BidderProxy(bid) for bid in self.bids]
+
+    # -- analysis helpers -----------------------------------------------------
+    def bidder_classes(self) -> dict[str, BidderClass]:
+        """Classification of every bidder (buyers/sellers/traders)."""
+        return {bid.bidder: classify_bidder(bid) for bid in self.bids}
+
+    def has_traders(self) -> bool:
+        """True if any bid mixes demands and offers (convergence not guaranteed)."""
+        return any(cls is BidderClass.TRADER for cls in self.bidder_classes().values())
+
+    # -- core loop --------------------------------------------------------------
+    def _collect(self, prices: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray], int]:
+        """One 'collect bids' step: individual demands, their sum, active count."""
+        total = np.zeros(len(self.index), dtype=float)
+        demands: dict[str, np.ndarray] = {}
+        active = 0
+        for proxy in self.proxies:
+            decision = proxy.respond(prices)
+            demands[proxy.bidder] = decision.quantities
+            total += decision.quantities
+            if decision.active:
+                active += 1
+        return total, demands, active
+
+    def _cleared(self, excess: np.ndarray) -> bool:
+        """Clearing test: every pool's excess demand is <= tolerance (scaled)."""
+        scale = np.maximum(self.index.capacities(), 1.0)
+        return bool(np.all(excess <= self.config.tolerance * scale + self.config.tolerance))
+
+    def run(self) -> AuctionOutcome:
+        """Execute the ascending clock auction and return its outcome.
+
+        Raises
+        ------
+        ConvergenceError
+            If the auction neither clears nor makes progress within
+            ``config.max_rounds`` (possible when traders are present,
+            Section III-C-3).
+        """
+        cfg = self.config
+        prices = self.reserve_prices.copy()
+        rounds: list[AuctionRound] = []
+        stalled = 0
+
+        for t in range(cfg.max_rounds):
+            total_demand, demands, active = self._collect(prices)
+            excess = total_demand - self.supply
+            rounds.append(
+                AuctionRound(
+                    round_index=t,
+                    prices=prices.copy(),
+                    excess_demand=excess.copy(),
+                    active_bidders=active,
+                    bidder_demands={k: v.copy() for k, v in demands.items()}
+                    if cfg.record_bidder_demands
+                    else None,
+                )
+            )
+            if self._cleared(excess):
+                return AuctionOutcome(
+                    index=self.index,
+                    converged=True,
+                    final_prices=prices,
+                    final_demands=demands,
+                    excess_demand=excess,
+                    rounds=rounds,
+                    reserve_prices=self.reserve_prices.copy(),
+                )
+            step = np.asarray(self.increment.increment(excess, prices), dtype=float)
+            if np.any(step < 0) or not np.all(np.isfinite(step)):
+                raise ValueError(
+                    f"increment policy {self.increment.describe()} returned an invalid step"
+                )
+            # Only over-demanded pools move (Algorithm 1 line 9 with g >= 0
+            # supported on the positive part of excess demand).
+            step = np.where(excess > 0, step, 0.0)
+            if float(step.max(initial=0.0)) <= 0.0:
+                stalled += 1
+                if stalled >= cfg.stall_rounds:
+                    raise ConvergenceError(
+                        "clock auction stalled: excess demand persists but prices are no longer moving"
+                    )
+            else:
+                stalled = 0
+            prices = prices + step
+
+        raise ConvergenceError(
+            f"clock auction did not clear within {cfg.max_rounds} rounds "
+            f"(traders present: {self.has_traders()})"
+        )

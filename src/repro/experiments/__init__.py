@@ -1,0 +1,23 @@
+"""Experiment drivers: one module per table / figure of the paper's evaluation.
+
+Every driver exposes a ``run_*`` function returning a plain result object and a
+``main()`` that prints the regenerated rows/series, so each experiment can be
+run standalone (``python -m repro.experiments.figure6``) or from the benchmark
+harness in ``benchmarks/``.
+
+| Paper artifact | Driver |
+|----------------|--------|
+| Figure 2 (weighting curves)              | :mod:`repro.experiments.figure2` |
+| Figure 6 (price / fixed-price ratios)    | :mod:`repro.experiments.figure6` |
+| Figure 7 (utilization of settled trades) | :mod:`repro.experiments.figure7` |
+| Table I (bid premium statistics)         | :mod:`repro.experiments.table1` |
+| Section III-C-4 (scaling claim)          | :mod:`repro.experiments.scaling` |
+| Figure 1 / Algorithm 1 (clock rounds)    | :mod:`repro.experiments.clock_rounds` |
+| Shortage/surplus vs. baselines           | :mod:`repro.experiments.baseline_comparison` |
+| Increment-policy ablation                | :mod:`repro.experiments.ablation_increment` |
+| Reserve-pricing ablation                 | :mod:`repro.experiments.ablation_reserve` |
+"""
+
+from repro.experiments.config import ExperimentConfig, PAPER_SCALE, TEST_SCALE
+
+__all__ = ["ExperimentConfig", "PAPER_SCALE", "TEST_SCALE"]

@@ -1,0 +1,50 @@
+"""Shared experiment configuration: paper-scale and test-scale presets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.agents.population import PopulationSpec
+from repro.cluster.fleet_gen import FleetSpec
+from repro.simulation.scenario import ScenarioConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale knobs shared by the experiment drivers.
+
+    ``paper_scale()`` matches the paper's experimental market (~34 clusters,
+    ~100 bidders, 6 auctions); ``test_scale()`` is a scaled-down variant used
+    by the unit tests so they stay fast.
+    """
+
+    cluster_count: int = 34
+    team_count: int = 100
+    auctions: int = 6
+    seed: int = 2009  # the paper's publication year, for flavour and reproducibility
+    machines_range: tuple[int, int] = (50, 400)
+    budget_per_team: float = 50_000.0
+
+    def scenario_config(self, **overrides) -> ScenarioConfig:
+        """Build a :class:`ScenarioConfig` from these knobs (overridable per experiment)."""
+        base = ScenarioConfig(
+            fleet=FleetSpec(cluster_count=self.cluster_count, machines_range=self.machines_range),
+            population=PopulationSpec(
+                team_count=self.team_count, budget_per_team=self.budget_per_team
+            ),
+            seed=self.seed,
+        )
+        return replace(base, **overrides) if overrides else base
+
+
+#: The scale of the paper's experimental market.
+PAPER_SCALE = ExperimentConfig()
+
+#: A fast scale for unit tests and smoke runs.
+TEST_SCALE = ExperimentConfig(
+    cluster_count=8,
+    team_count=24,
+    auctions=3,
+    machines_range=(10, 40),
+    budget_per_team=200_000.0,
+)

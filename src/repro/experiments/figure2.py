@@ -1,0 +1,94 @@
+"""Figure 2: example utilization-weighted pricing curves.
+
+The paper plots three weighting functions over normalized utilization 0-100%:
+
+* ``phi1(x) = exp(2(x - 0.5))``
+* ``phi2(x) = exp(x - 0.5)``
+* ``phi3(x) = 1 / (1.5 - x)``
+
+This driver regenerates the three series, verifies each satisfies the five
+Section IV-A properties, and reports the key landmark values (the multiple at
+0%, 50%, and 100% utilization) so the reproduced curves can be compared to the
+published plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reserve import (
+    PAPER_PHI_1,
+    PAPER_PHI_2,
+    PAPER_PHI_3,
+    WeightingFunction,
+    check_weighting_properties,
+    sweep_curve,
+)
+
+
+@dataclass(frozen=True)
+class Figure2Curve:
+    """One regenerated curve of Figure 2."""
+
+    label: str
+    xs: np.ndarray
+    ys: np.ndarray
+    properties: dict[str, bool]
+
+    @property
+    def at_zero(self) -> float:
+        return float(self.ys[0])
+
+    @property
+    def at_half(self) -> float:
+        return float(self.ys[len(self.ys) // 2])
+
+    @property
+    def at_full(self) -> float:
+        return float(self.ys[-1])
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """All three curves."""
+
+    curves: tuple[Figure2Curve, ...]
+
+    def curve(self, label_prefix: str) -> Figure2Curve:
+        for curve in self.curves:
+            if curve.label.startswith(label_prefix):
+                return curve
+        raise KeyError(label_prefix)
+
+
+def run_figure2(*, points: int = 101) -> Figure2Result:
+    """Regenerate the three Figure 2 curves with ``points`` samples each."""
+    named: list[tuple[str, WeightingFunction]] = [
+        ("phi1(x) = exp(2(x-0.5))", PAPER_PHI_1),
+        ("phi2(x) = exp(x-0.5)", PAPER_PHI_2),
+        ("phi3(x) = 1/(1.5-x)", PAPER_PHI_3),
+    ]
+    curves = []
+    for label, phi in named:
+        xs, ys = sweep_curve(phi, points=points)
+        curves.append(
+            Figure2Curve(label=label, xs=xs, ys=ys, properties=check_weighting_properties(phi))
+        )
+    return Figure2Result(curves=tuple(curves))
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    result = run_figure2()
+    print("Figure 2: utilization-weighted pricing curves")
+    print(f"{'curve':<28} {'phi(0)':>8} {'phi(0.5)':>9} {'phi(1)':>8}  properties")
+    for curve in result.curves:
+        ok = "all ok" if all(curve.properties.values()) else str(curve.properties)
+        print(
+            f"{curve.label:<28} {curve.at_zero:>8.3f} {curve.at_half:>9.3f} {curve.at_full:>8.3f}  {ok}"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

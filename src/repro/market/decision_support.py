@@ -1,0 +1,211 @@
+"""Operator decision support: turning price signals into capacity actions.
+
+Section III-A of the paper: a significant price increase "indicates to the
+system operator that there may be a shortage in the corresponding pool; the
+operator should address this shortage by increasing the supply of resources
+appropriately."  Section IV frames the reserve prices as "the basis of a
+decision support framework in the market economy that allows the operator to
+steer the system towards particular, desired outcomes."
+
+This module implements that layer: given one or more auction results it
+recommends, per pool, whether to grow capacity (persistent price premium over
+cost), reclaim capacity (persistently idle and priced below cost), or leave it
+alone, together with a suggested sizing derived from the unmet demand the
+clock observed before clearing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.pools import PoolIndex
+from repro.core.exchange import ExchangeResult
+
+
+class CapacityAction(str, enum.Enum):
+    """What the operator should do with one resource pool."""
+
+    GROW = "grow"
+    RECLAIM = "reclaim"
+    HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class CapacityRecommendation:
+    """One pool's recommendation."""
+
+    pool: str
+    action: CapacityAction
+    #: Mean settled-price / unit-cost ratio across the analysed auctions.
+    price_to_cost: float
+    #: Current utilization fraction of the pool.
+    utilization: float
+    #: Suggested capacity change in resource units (positive = add, negative = reclaim).
+    suggested_delta: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class DecisionSupportConfig:
+    """Thresholds for the recommendation rules.
+
+    A pool is recommended for growth when its settled price exceeds
+    ``grow_price_ratio`` times its unit cost *and* its utilization exceeds
+    ``grow_utilization``; it is recommended for reclamation when the price
+    stays below ``reclaim_price_ratio`` times cost and utilization is below
+    ``reclaim_utilization``.  ``growth_headroom`` sizes additions relative to
+    the peak excess demand the clock had to price away.
+    """
+
+    grow_price_ratio: float = 1.5
+    grow_utilization: float = 0.75
+    reclaim_price_ratio: float = 0.8
+    reclaim_utilization: float = 0.35
+    growth_headroom: float = 1.2
+    reclaim_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.grow_price_ratio <= self.reclaim_price_ratio:
+            raise ValueError("grow_price_ratio must exceed reclaim_price_ratio")
+        if not (0.0 <= self.reclaim_utilization <= self.grow_utilization <= 1.0):
+            raise ValueError("utilization thresholds must satisfy 0 <= reclaim <= grow <= 1")
+        if self.growth_headroom < 1.0:
+            raise ValueError("growth_headroom must be >= 1")
+        if not (0.0 < self.reclaim_fraction <= 1.0):
+            raise ValueError("reclaim_fraction must lie in (0, 1]")
+
+
+def _peak_excess_demand(results: Sequence[ExchangeResult], index: PoolIndex) -> np.ndarray:
+    """Component-wise maximum positive excess demand observed in any clock round."""
+    peak = np.zeros(len(index), dtype=float)
+    for result in results:
+        for auction_round in result.outcome.rounds:
+            peak = np.maximum(peak, np.clip(auction_round.excess_demand, 0.0, None))
+    return peak
+
+
+def recommend_capacity_actions(
+    results: Sequence[ExchangeResult] | ExchangeResult,
+    *,
+    config: DecisionSupportConfig | None = None,
+) -> list[CapacityRecommendation]:
+    """Recommend per-pool capacity actions from one or more auction results.
+
+    All results must share the same pool index (the same market).  Price
+    ratios are averaged across the given auctions so one noisy auction does
+    not trigger a build-out.
+    """
+    if isinstance(results, ExchangeResult):
+        results = [results]
+    if not results:
+        raise ValueError("at least one auction result is required")
+    index = results[0].index
+    for result in results:
+        if result.index.names != index.names:
+            raise ValueError("all results must be defined over the same pool index")
+
+    costs = np.maximum(index.unit_costs(), 1e-12)
+    ratio_sum = np.zeros(len(index), dtype=float)
+    for result in results:
+        ratio_sum += result.outcome.final_prices / costs
+    mean_ratio = ratio_sum / len(results)
+    peak_excess = _peak_excess_demand(results, index)
+    config = config or DecisionSupportConfig()
+
+    recommendations: list[CapacityRecommendation] = []
+    for i, pool in enumerate(index):
+        ratio = float(mean_ratio[i])
+        utilization = pool.utilization
+        if ratio >= config.grow_price_ratio and utilization >= config.grow_utilization:
+            delta = float(max(peak_excess[i], 0.0) * config.growth_headroom)
+            if delta <= 0.0:
+                # price signal without recorded excess demand: size off the unused slack
+                delta = pool.capacity * 0.05
+            recommendations.append(
+                CapacityRecommendation(
+                    pool=pool.name,
+                    action=CapacityAction.GROW,
+                    price_to_cost=ratio,
+                    utilization=utilization,
+                    suggested_delta=delta,
+                    reason=(
+                        f"settled at {ratio:.2f}x cost with {utilization:.0%} utilization; "
+                        f"peak unmet demand {peak_excess[i]:.1f} units"
+                    ),
+                )
+            )
+        elif ratio <= config.reclaim_price_ratio and utilization <= config.reclaim_utilization:
+            recommendations.append(
+                CapacityRecommendation(
+                    pool=pool.name,
+                    action=CapacityAction.RECLAIM,
+                    price_to_cost=ratio,
+                    utilization=utilization,
+                    suggested_delta=-float(pool.available * config.reclaim_fraction),
+                    reason=(
+                        f"settled at {ratio:.2f}x cost with only {utilization:.0%} utilization; "
+                        "capacity can be redeployed"
+                    ),
+                )
+            )
+        else:
+            recommendations.append(
+                CapacityRecommendation(
+                    pool=pool.name,
+                    action=CapacityAction.HOLD,
+                    price_to_cost=ratio,
+                    utilization=utilization,
+                    suggested_delta=0.0,
+                    reason="price and utilization within normal bands",
+                )
+            )
+    return recommendations
+
+
+def summarize_actions(recommendations: Sequence[CapacityRecommendation]) -> dict[str, int]:
+    """Count of pools per recommended action (for dashboards)."""
+    counts = {action.value: 0 for action in CapacityAction}
+    for recommendation in recommendations:
+        counts[recommendation.action.value] += 1
+    return counts
+
+
+def apply_recommendations(
+    index: PoolIndex,
+    recommendations: Sequence[CapacityRecommendation],
+    *,
+    only: CapacityAction | None = None,
+) -> PoolIndex:
+    """Return a new pool index with the recommended capacity deltas applied.
+
+    Utilization fractions are rescaled so the *absolute* used amount is
+    preserved when capacity changes (adding capacity lowers the fraction,
+    reclaiming idle capacity raises it).  Useful for simulating "what would
+    next auction look like if the operator followed the advice".
+    """
+    from repro.cluster.pools import ResourcePool
+
+    by_pool = {recommendation.pool: recommendation for recommendation in recommendations}
+    new_pools: list[ResourcePool] = []
+    for pool in index:
+        recommendation = by_pool.get(pool.name)
+        delta = 0.0
+        if recommendation is not None and (only is None or recommendation.action is only):
+            delta = recommendation.suggested_delta
+        new_capacity = max(pool.capacity + delta, 0.0)
+        used = pool.capacity * pool.utilization
+        new_utilization = 0.0 if new_capacity <= 0 else float(np.clip(used / new_capacity, 0.0, 1.0))
+        new_pools.append(
+            ResourcePool(
+                cluster=pool.cluster,
+                rtype=pool.rtype,
+                capacity=new_capacity,
+                unit_cost=pool.unit_cost,
+                utilization=new_utilization,
+            )
+        )
+    return PoolIndex(new_pools)

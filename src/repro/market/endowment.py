@@ -1,0 +1,129 @@
+"""Budget-endowment (disbursement) strategies.
+
+Property 5 of the weighting functions (Section IV-A) bounds phi(100%)/phi(0%)
+"to limit the impact on the initial endowment of budget dollars", and the
+paper notes that the disbursement strategy itself is out of its scope.  The
+market still needs one, so this module provides the three obvious policies:
+
+* **equal split** — every team receives the same share of the budget pool;
+* **usage-proportional** — teams receive budget in proportion to the
+  (cost-weighted) footprint they already run, so the starting allocation can
+  be repurchased at cost;
+* **usage-at-reserve** — like usage-proportional but valued at the
+  congestion-weighted reserve prices, so teams sitting in congested clusters
+  receive enough budget to either stay (pay the premium) or fund their move.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.cluster.pools import PoolIndex
+from repro.core.reserve import PAPER_PHI_1, ReservePricer
+
+
+class EndowmentPolicy(str, enum.Enum):
+    """Supported budget-disbursement policies."""
+
+    EQUAL = "equal"
+    USAGE_PROPORTIONAL = "usage_proportional"
+    USAGE_AT_RESERVE = "usage_at_reserve"
+
+
+@dataclass(frozen=True)
+class EndowmentPlan:
+    """The computed per-team budget endowments."""
+
+    policy: EndowmentPolicy
+    total_budget: float
+    shares: dict[str, float]
+
+    def share_of(self, team: str) -> float:
+        """Budget dollars endowed to one team (0.0 for unknown teams)."""
+        return self.shares.get(team, 0.0)
+
+    def as_fractions(self) -> dict[str, float]:
+        """Each team's share as a fraction of the total budget."""
+        if self.total_budget <= 0:
+            return {team: 0.0 for team in self.shares}
+        return {team: value / self.total_budget for team, value in self.shares.items()}
+
+
+def _usage_value(
+    index: PoolIndex,
+    usage: Mapping[str, Mapping[str, float]],
+    prices: np.ndarray,
+) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for team, amounts in usage.items():
+        vec = index.vector(dict(amounts))
+        values[team] = float(np.clip(vec, 0.0, None) @ prices)
+    return values
+
+
+def plan_endowments(
+    index: PoolIndex,
+    teams: Mapping[str, Mapping[str, float]] | list[str],
+    total_budget: float,
+    *,
+    policy: EndowmentPolicy = EndowmentPolicy.EQUAL,
+    reserve_pricer: ReservePricer | None = None,
+) -> EndowmentPlan:
+    """Compute per-team endowments under the chosen policy.
+
+    ``teams`` is either a plain list of team names (sufficient for the equal
+    policy) or a mapping team -> {pool name: current usage} (required for the
+    usage-based policies).  ``total_budget`` is the size of the budget pool to
+    disburse.
+    """
+    if total_budget < 0:
+        raise ValueError("total_budget must be non-negative")
+    if isinstance(teams, list):
+        names = list(teams)
+        usage: Mapping[str, Mapping[str, float]] = {name: {} for name in names}
+    else:
+        usage = teams
+        names = list(teams)
+    if not names:
+        raise ValueError("at least one team is required")
+
+    if policy is EndowmentPolicy.EQUAL:
+        share = total_budget / len(names)
+        return EndowmentPlan(policy=policy, total_budget=total_budget, shares={n: share for n in names})
+
+    if policy is EndowmentPolicy.USAGE_PROPORTIONAL:
+        prices = index.unit_costs()
+    elif policy is EndowmentPolicy.USAGE_AT_RESERVE:
+        pricer = reserve_pricer or ReservePricer(weighting=PAPER_PHI_1)
+        prices = pricer.reserve_prices(index)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown policy {policy}")
+
+    values = _usage_value(index, usage, prices)
+    total_value = sum(values.values())
+    if total_value <= 0:
+        # nobody uses anything yet: fall back to an equal split
+        share = total_budget / len(names)
+        return EndowmentPlan(policy=policy, total_budget=total_budget, shares={n: share for n in names})
+    shares = {team: total_budget * value / total_value for team, value in values.items()}
+    return EndowmentPlan(policy=policy, total_budget=total_budget, shares=shares)
+
+
+def endowment_impact_bound(index: PoolIndex, pricer: ReservePricer) -> float:
+    """The phi(1)/phi(0)-style bound on how much congestion weighting skews endowments.
+
+    Property 5 exists so that pricing congested pools up does not hand teams in
+    congested clusters an unbounded share of a usage-at-reserve disbursement.
+    This returns the ratio of the largest to the smallest reserve-price
+    multiplier across pools — the realized version of that bound for the
+    current fleet state.
+    """
+    multipliers = pricer.multipliers(index)
+    smallest = float(np.min(multipliers))
+    if smallest <= 0:
+        return float("inf")
+    return float(np.max(multipliers) / smallest)

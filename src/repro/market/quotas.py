@@ -1,0 +1,146 @@
+"""Quota holdings: who is provisioned how much of each resource pool.
+
+The market's output is a *provisioning* decision — long-term quota — not a
+per-job scheduling decision.  The registry records each team's quota per pool,
+applies auction settlements (buys add quota, sells remove it), and enforces
+that a team cannot offer quota it does not hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.cluster.pools import PoolIndex
+from repro.core.settlement import Settlement
+
+
+class QuotaError(RuntimeError):
+    """A quota operation would leave a team with negative holdings."""
+
+
+@dataclass
+class QuotaRegistry:
+    """Per-team quota holdings over a pool index."""
+
+    index: PoolIndex
+    holdings: dict[str, np.ndarray] = field(default_factory=dict)
+
+    # -- basic access -------------------------------------------------------------
+    def ensure_team(self, team: str) -> np.ndarray:
+        """Create an all-zero holding for ``team`` if missing, returning it."""
+        if team not in self.holdings:
+            self.holdings[team] = np.zeros(len(self.index), dtype=float)
+        return self.holdings[team]
+
+    def teams(self) -> list[str]:
+        """All teams with registered holdings."""
+        return list(self.holdings)
+
+    def quota(self, team: str, pool_name: str) -> float:
+        """Quota of one team in one pool (0 if the team holds nothing)."""
+        if team not in self.holdings:
+            return 0.0
+        return float(self.holdings[team][self.index.index_of(pool_name)])
+
+    def quota_vector(self, team: str) -> np.ndarray:
+        """A copy of one team's full holding vector."""
+        return self.ensure_team(team).copy()
+
+    def holdings_map(self, team: str) -> dict[str, float]:
+        """Non-zero holdings of one team keyed by pool name."""
+        return self.index.describe(self.ensure_team(team))
+
+    # -- mutations ------------------------------------------------------------------
+    def grant(self, team: str, quantities: Mapping[str, float] | np.ndarray) -> None:
+        """Add quota to a team (initial endowments, operator grants)."""
+        vec = (
+            quantities
+            if isinstance(quantities, np.ndarray)
+            else self.index.vector(dict(quantities))
+        )
+        if np.any(vec < 0):
+            raise QuotaError("grants must be non-negative; use apply_delta for trades")
+        self.ensure_team(team)
+        self.holdings[team] = self.holdings[team] + vec
+
+    def apply_delta(self, team: str, delta: np.ndarray, *, allow_negative: bool = False) -> None:
+        """Apply a signed quota change (an auction allocation) to one team."""
+        delta = np.asarray(delta, dtype=float)
+        if delta.shape != (len(self.index),):
+            raise ValueError("delta has the wrong length")
+        holding = self.ensure_team(team)
+        updated = holding + delta
+        if not allow_negative and np.any(updated < -1e-9):
+            short = self.index.pools[int(np.argmin(updated))].name
+            raise QuotaError(
+                f"{team} would hold negative quota in {short}: {float(updated.min()):.3f}"
+            )
+        self.holdings[team] = updated
+
+    def apply_settlement(self, settlement: Settlement, *, allow_negative: bool = False) -> None:
+        """Apply every winning allocation of a settlement to the registry."""
+        if settlement.index.names != self.index.names:
+            raise ValueError("settlement is defined over a different pool index")
+        for line in settlement.winners:
+            self.apply_delta(line.bidder, line.allocation, allow_negative=allow_negative)
+
+    # -- queries used by agents and validation ----------------------------------------
+    def can_offer(self, team: str, quantities: Mapping[str, float]) -> bool:
+        """True iff ``team`` holds at least the (positive) quantities it wants to sell."""
+        holding = self.ensure_team(team)
+        for name, qty in quantities.items():
+            if qty < 0:
+                qty = -qty
+            if holding[self.index.index_of(name)] < qty - 1e-9:
+                return False
+        return True
+
+    def total_provisioned(self) -> np.ndarray:
+        """Sum of all teams' quotas per pool."""
+        total = np.zeros(len(self.index), dtype=float)
+        for vec in self.holdings.values():
+            total = total + vec
+        return total
+
+    def overcommitment(self) -> np.ndarray:
+        """Provisioned quota minus pool capacity (positive entries mean overcommit)."""
+        return self.total_provisioned() - self.index.capacities()
+
+    def utilization_of_quota(self, usage: Mapping[str, Mapping[str, float]]) -> dict[str, float]:
+        """Fraction of each team's quota actually used, given per-team usage maps.
+
+        ``usage`` maps team -> {pool name: used amount}.  Teams with zero
+        total quota are omitted.  Useful for hoarding analyses ("discourage
+        hoarding and overestimating").
+        """
+        result: dict[str, float] = {}
+        for team, vec in self.holdings.items():
+            total_quota = float(np.clip(vec, 0.0, None).sum())
+            if total_quota <= 0:
+                continue
+            team_usage = usage.get(team, {})
+            used = sum(min(team_usage.get(name, 0.0), self.quota(team, name)) for name in self.index.names)
+            result[team] = used / total_quota
+        return result
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Deep copy of all non-zero holdings, keyed team -> pool name -> quota."""
+        return {team: self.index.describe(vec) for team, vec in self.holdings.items()}
+
+
+def endow_from_usage(
+    index: PoolIndex,
+    usage: Mapping[str, Mapping[str, float]],
+) -> QuotaRegistry:
+    """Build a registry whose initial quotas equal each team's current usage.
+
+    This mirrors how the real market was bootstrapped: teams start out owning
+    the resources they already consume, and the market reallocates from there.
+    """
+    registry = QuotaRegistry(index=index)
+    for team, amounts in usage.items():
+        registry.grant(team, dict(amounts))
+    return registry

@@ -1,0 +1,32 @@
+"""Multi-auction economy simulation.
+
+The paper ran "six, experimental auctions over the course of several months".
+This package simulates that longitudinal process: a discrete-event engine
+drives periodic auction events and organic utilization drift between them,
+scenario builders assemble a synthetic fleet plus an agent population plus a
+trading platform, and :class:`~repro.simulation.economy.MarketEconomySimulation`
+runs the whole thing and records per-auction statistics for the analysis layer.
+"""
+
+from repro.simulation.engine import Event, SimulationEngine
+from repro.simulation.workload import demands_from_agents, priorities_from_agents, organic_drift
+from repro.simulation.scenario import ScenarioConfig, Scenario, build_scenario
+from repro.simulation.economy import (
+    AuctionPeriodResult,
+    EconomyHistory,
+    MarketEconomySimulation,
+)
+
+__all__ = [
+    "Event",
+    "SimulationEngine",
+    "demands_from_agents",
+    "priorities_from_agents",
+    "organic_drift",
+    "ScenarioConfig",
+    "Scenario",
+    "build_scenario",
+    "AuctionPeriodResult",
+    "EconomyHistory",
+    "MarketEconomySimulation",
+]

@@ -1,0 +1,222 @@
+"""The multi-auction market economy simulation.
+
+Reproduces the longitudinal structure of the paper's experiment: periodic
+clock auctions run against a fleet whose utilization evolves both organically
+(traffic growth, launches) and as a *consequence of the previous auctions*
+(teams that bought quota in idle clusters move load there; teams that sold
+quota in congested clusters move load out).  Agents observe their settlements
+and adapt their bidding between auctions, which is what drives Table I's
+shrinking premiums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.agents.base import MarketView
+from repro.analysis.premium import PremiumStats, premium_stats
+from repro.analysis.price_ratio import PriceRatioRow, price_ratio_table
+from repro.analysis.utilization_stats import SettledTrade, migration_summary, settled_trades
+from repro.core.settlement import Settlement
+from repro.market.platform import AuctionRecord
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.scenario import Scenario
+from repro.simulation.workload import apply_settlement_to_utilization, organic_drift
+
+
+@dataclass
+class AuctionPeriodResult:
+    """Everything recorded about one auction period."""
+
+    auction_number: int
+    record: AuctionRecord
+    premium: PremiumStats
+    trades: list[SettledTrade]
+    price_ratios: list[PriceRatioRow]
+    utilization_before: np.ndarray
+    utilization_after: np.ndarray
+    migration: dict[str, float]
+
+    @property
+    def settlement(self) -> Settlement:
+        return self.record.result.settlement
+
+    @property
+    def settled_fraction(self) -> float:
+        return self.settlement.settled_fraction()
+
+
+@dataclass
+class EconomyHistory:
+    """The full record of a multi-auction simulation run."""
+
+    periods: list[AuctionPeriodResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.periods)
+
+    def settlements(self) -> list[Settlement]:
+        """Settlements of every auction, in order."""
+        return [period.settlement for period in self.periods]
+
+    def premium_rows(self) -> list[PremiumStats]:
+        """Table I rows for every auction."""
+        return [period.premium for period in self.periods]
+
+    def all_trades(self) -> list[SettledTrade]:
+        """Settled trades pooled across all auctions (Figure 7 input)."""
+        trades: list[SettledTrade] = []
+        for period in self.periods:
+            trades.extend(period.trades)
+        return trades
+
+    def median_premium_series(self) -> list[float]:
+        """Median gamma_u per auction (should trend downwards)."""
+        return [period.premium.median_premium for period in self.periods]
+
+    def utilization_spread_series(self) -> list[float]:
+        """Utilization spread across pools after each auction."""
+        return [float(np.std(period.utilization_after)) for period in self.periods]
+
+
+class MarketEconomySimulation:
+    """Drives a scenario through a sequence of periodic auctions."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        auction_period: float = 30.0,
+        drift_scale: float = 0.015,
+        move_out_fraction: float = 0.9,
+        preliminary_runs: int = 0,
+    ):
+        if auction_period <= 0:
+            raise ValueError("auction_period must be positive")
+        if preliminary_runs < 0:
+            raise ValueError("preliminary_runs must be non-negative")
+        self.scenario = scenario
+        self.auction_period = auction_period
+        self.drift_scale = drift_scale
+        self.move_out_fraction = move_out_fraction
+        self.preliminary_runs = preliminary_runs
+        self.engine = SimulationEngine()
+        self.history = EconomyHistory()
+        self._auction_counter = 0
+
+    # -- single-period mechanics ----------------------------------------------------------
+    def _market_view(self) -> MarketView:
+        platform = self.scenario.platform
+        return MarketView(
+            index=platform.index,
+            displayed_prices=dict(platform.displayed_prices),
+            fixed_prices=dict(platform.fixed_prices),
+            auction_number=self._auction_counter + 1,
+            topology=self.scenario.fleet.topology,
+        )
+
+    def _refresh_agent_state(self) -> None:
+        platform = self.scenario.platform
+        for agent in self.scenario.agents:
+            if platform.ledger.has_account(agent.name):
+                agent.budget = platform.ledger.balance(agent.name)
+            agent.holdings = platform.quotas.holdings_map(agent.name)
+
+    def run_one_auction(self) -> AuctionPeriodResult:
+        """Run a single complete auction period and record its statistics."""
+        platform = self.scenario.platform
+        self._auction_counter += 1
+        utilization_before = platform.index.utilizations().copy()
+
+        platform.open_bid_window()
+        self._refresh_agent_state()
+        view = self._market_view()
+        for agent in self.scenario.agents:
+            for bid in agent.prepare_bids(view):
+                try:
+                    platform.submit_bid(bid)
+                except ValueError:
+                    # Bids that fail budget/quota feasibility are rejected by the
+                    # platform exactly as the real front end would refuse them.
+                    continue
+        for _ in range(self.preliminary_runs):
+            platform.run_preliminary()
+        record = platform.finalize_auction()
+        settlement = record.result.settlement
+
+        # Feed settlements back to the agents (learning across auctions).
+        for agent in self.scenario.agents:
+            lines = [line for line in settlement.lines if line.bidder == agent.name]
+            agent.observe_settlement(lines, view)
+
+        # Project the outcome onto next period's utilization and refresh the platform.
+        updated_index = apply_settlement_to_utilization(
+            platform.index,
+            settlement.total_allocated(),
+            move_out_fraction=self.move_out_fraction,
+        )
+        updated_index = organic_drift(updated_index, rng=self.scenario.rng, drift_scale=self.drift_scale)
+        platform.update_pool_index(updated_index)
+
+        trades = settled_trades(settlement)
+        period = AuctionPeriodResult(
+            auction_number=self._auction_counter,
+            record=record,
+            premium=premium_stats(settlement, auction=self._auction_counter),
+            trades=trades,
+            price_ratios=price_ratio_table(
+                settlement.index, record.prices, platform.fixed_prices
+            ),
+            utilization_before=utilization_before,
+            utilization_after=updated_index.utilizations().copy(),
+            migration=migration_summary(trades),
+        )
+        self.history.periods.append(period)
+        return period
+
+    # -- multi-period driver --------------------------------------------------------------------
+    def run(self, auctions: int) -> EconomyHistory:
+        """Run ``auctions`` periodic auctions through the discrete-event engine."""
+        if auctions < 0:
+            raise ValueError("auctions must be non-negative")
+
+        def auction_event(_engine: SimulationEngine) -> None:
+            self.run_one_auction()
+
+        def drift_event(_engine: SimulationEngine) -> None:
+            platform = self.scenario.platform
+            platform.update_pool_index(
+                organic_drift(platform.index, rng=self.scenario.rng, drift_scale=self.drift_scale)
+            )
+
+        self.engine.schedule_periodic(
+            self.auction_period, auction_event, count=auctions, name="auction", priority=1
+        )
+        # drift mid-way between auctions
+        self.engine.schedule_periodic(
+            self.auction_period,
+            drift_event,
+            count=auctions,
+            name="drift",
+            priority=0,
+            start_delay=self.auction_period / 2,
+        )
+        self.engine.run()
+        return self.history
+
+
+def run_economy(
+    scenario: Scenario,
+    *,
+    auctions: int = 6,
+    drift_scale: float = 0.015,
+    preliminary_runs: int = 0,
+) -> EconomyHistory:
+    """Convenience wrapper: build the simulation and run ``auctions`` periods."""
+    sim = MarketEconomySimulation(
+        scenario, drift_scale=drift_scale, preliminary_runs=preliminary_runs
+    )
+    return sim.run(auctions)

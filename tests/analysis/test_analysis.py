@@ -1,0 +1,238 @@
+"""Unit tests for the analysis layer: boxplots, premiums, price ratios, utilization stats, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.boxplot import boxplot_stats
+from repro.analysis.premium import premium_stats, premium_table, premium_trend
+from repro.analysis.price_ratio import (
+    price_ratio_table,
+    ratio_utilization_correlation,
+    sort_rows_for_figure6,
+)
+from repro.analysis.reports import (
+    render_boxplots,
+    render_figure6_rows,
+    render_premium_table,
+    render_table,
+)
+from repro.analysis.settlement_stats import (
+    demand_concentration,
+    operator_revenue,
+    settlement_by_strategy,
+    utilization_after_settlement,
+    utilization_balance_improvement,
+)
+from repro.analysis.utilization_stats import (
+    figure7_boxplots,
+    migration_summary,
+    settled_trades,
+    utilization_percentile_groups,
+)
+from repro.cluster.resources import ResourceType
+from repro.core.bids import Bid
+from repro.core.settlement import settle
+
+
+class TestBoxplotStats:
+    def test_five_number_summary(self):
+        stats = boxplot_stats(range(1, 101))
+        assert stats.count == 100
+        assert stats.minimum == 1 and stats.maximum == 100
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 < stats.median < stats.q3
+        assert stats.iqr == pytest.approx(stats.q3 - stats.q1)
+        assert stats.outliers == ()
+
+    def test_outliers_detected(self):
+        values = [10.0] * 20 + [1000.0]
+        stats = boxplot_stats(values)
+        assert stats.outliers == (1000.0,)
+        assert stats.whisker_high == 10.0
+        assert stats.contains(10.0) and stats.contains(1000.0)
+
+    def test_empty_and_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+        with pytest.raises(ValueError):
+            boxplot_stats([1.0, float("nan")])
+
+    def test_single_value(self):
+        stats = boxplot_stats([5.0])
+        assert stats.minimum == stats.median == stats.maximum == 5.0
+
+
+class TestPremiumAnalysis:
+    def make_settlement(self, pool_index, limits):
+        bids = [
+            Bid.buy(f"t{i}", pool_index, [{"alpha/cpu": 10}], max_payment=limit)
+            for i, limit in enumerate(limits)
+        ]
+        return settle(pool_index, bids, np.ones(len(pool_index)))
+
+    def test_premium_stats_values(self, pool_index):
+        # price 1/unit -> payment 10; limits 12 and 20 -> premiums 0.2 and 1.0; limit 5 loses
+        settlement = self.make_settlement(pool_index, [12.0, 20.0, 5.0])
+        stats = premium_stats(settlement, auction=2)
+        assert stats.auction == 2
+        assert stats.winner_count == 2 and stats.bidder_count == 3
+        assert stats.median_premium == pytest.approx(0.6)
+        assert stats.mean_premium == pytest.approx(0.6)
+        assert stats.settled_fraction == pytest.approx(2 / 3)
+        assert stats.as_row()["pct_settled"] == pytest.approx(66.6666, rel=1e-3)
+
+    def test_premium_stats_empty_settlement(self, pool_index):
+        stats = premium_stats(settle(pool_index, [], np.ones(len(pool_index))))
+        assert stats.median_premium == 0.0 and stats.settled_fraction == 0.0
+
+    def test_premium_table_and_trend(self, pool_index):
+        settlements = [
+            self.make_settlement(pool_index, [30.0, 40.0]),
+            self.make_settlement(pool_index, [12.0, 14.0]),
+            self.make_settlement(pool_index, [10.5, 11.0]),
+        ]
+        rows = premium_table(settlements)
+        assert [row.auction for row in rows] == [1, 2, 3]
+        trend = premium_trend(rows)
+        assert trend["median_last"] < trend["median_first"]
+        assert trend["median_ratio_last_to_first"] < 1.0
+        assert trend["median_monotone_decreasing"] == 1.0
+
+    def test_premium_trend_requires_rows(self):
+        with pytest.raises(ValueError):
+            premium_trend([])
+
+
+class TestPriceRatios:
+    def test_table_and_sorting(self, pool_index):
+        market = {name: 2.0 for name in pool_index.names}
+        fixed = {name: 1.0 for name in pool_index.names}
+        market["beta/cpu"] = 0.5
+        rows = price_ratio_table(pool_index, market, fixed)
+        assert len(rows) == 2
+        by_cluster = {row.cluster: row for row in rows}
+        assert by_cluster["alpha"].cpu_ratio == 2.0
+        assert by_cluster["beta"].cpu_ratio == 0.5
+        assert by_cluster["alpha"].ratio(ResourceType.RAM) == 2.0
+        assert by_cluster["alpha"].max_ratio() == 2.0
+        ordered = sort_rows_for_figure6(rows)
+        assert ordered[0].cluster == "beta"
+
+    def test_correlation_positive_when_congested_pools_cost_more(self, pool_index):
+        market = {name: pool_index.pool(name).unit_cost * (1 + pool_index.pool(name).utilization) for name in pool_index.names}
+        fixed = {name: pool_index.pool(name).unit_cost for name in pool_index.names}
+        rows = price_ratio_table(pool_index, market, fixed)
+        assert ratio_utilization_correlation(rows) > 0.9
+
+    def test_correlation_degenerate_cases(self, pool_index):
+        market = {name: 1.0 for name in pool_index.names}
+        rows = price_ratio_table(pool_index, market, market)
+        assert ratio_utilization_correlation(rows) == 0.0
+        assert ratio_utilization_correlation(rows[:1]) == 0.0
+
+
+class TestUtilizationStats:
+    def make_settlement(self, pool_index):
+        bids = [
+            Bid.buy("buyer-idle", pool_index, [{"beta/cpu": 10, "beta/ram": 40}], max_payment=1e6),
+            Bid.buy("buyer-congested", pool_index, [{"alpha/cpu": 5}], max_payment=1e6),
+            Bid.sell("seller-congested", pool_index, [{"alpha/cpu": 20}], min_revenue=0.0),
+        ]
+        return settle(pool_index, bids, np.ones(len(pool_index)))
+
+    def test_settled_trades_classification(self, pool_index):
+        trades = settled_trades(self.make_settlement(pool_index))
+        sides = {(t.bidder, t.pool): t.side for t in trades}
+        assert sides[("buyer-idle", "beta/cpu")] == "bid"
+        assert sides[("seller-congested", "alpha/cpu")] == "offer"
+        # percentile of the congested alpha pools exceeds the idle beta pools
+        alpha_trade = next(t for t in trades if t.pool == "alpha/cpu" and t.side == "offer")
+        beta_trade = next(t for t in trades if t.pool == "beta/cpu")
+        assert alpha_trade.utilization_percentile > beta_trade.utilization_percentile
+
+    def test_groups_and_boxplots(self, pool_index):
+        settlement = self.make_settlement(pool_index)
+        groups = utilization_percentile_groups(settled_trades(settlement))
+        assert (ResourceType.CPU, "bid") in groups
+        boxes = figure7_boxplots(settlement)
+        assert "CPU Bids" in boxes and "CPU Offers" in boxes
+        assert "RAM Offers" not in boxes  # nobody sold RAM
+
+    def test_migration_summary(self, pool_index):
+        summary = migration_summary(settled_trades(self.make_settlement(pool_index)))
+        assert summary["bid_count"] == 3.0  # beta/cpu, beta/ram, alpha/cpu
+        assert summary["offer_count"] == 1.0
+        assert 0.0 <= summary["bid_quantity_share_in_underutilized"] <= 1.0
+
+    def test_migration_summary_empty(self):
+        summary = migration_summary([])
+        assert np.isnan(summary["median_bid_percentile"])
+        assert summary["bid_count"] == 0.0
+
+    def test_custom_percentiles_override(self, pool_index):
+        settlement = self.make_settlement(pool_index)
+        forced = {name: 42.0 for name in pool_index.names}
+        trades = settled_trades(settlement, percentiles=forced)
+        assert all(t.utilization_percentile == 42.0 for t in trades)
+
+
+class TestSettlementStats:
+    def make_settlement(self, pool_index):
+        bids = [
+            Bid.buy("buyer", pool_index, [{"beta/cpu": 100}], max_payment=1e6, strategy="MarketTrackerStrategy"),
+            Bid.sell("seller", pool_index, [{"alpha/cpu": 100}], min_revenue=0.0, strategy="SellerStrategy"),
+            Bid.buy("loser", pool_index, [{"alpha/cpu": 100}], max_payment=0.0, strategy="LowballStrategy"),
+        ]
+        return settle(pool_index, bids, np.ones(len(pool_index))), bids
+
+    def test_utilization_after_settlement_moves_in_right_direction(self, pool_index):
+        settlement, _ = self.make_settlement(pool_index)
+        after = utilization_after_settlement(settlement)
+        before = pool_index.utilizations()
+        assert after[pool_index.index_of("beta/cpu")] > before[pool_index.index_of("beta/cpu")]
+        assert after[pool_index.index_of("alpha/cpu")] < before[pool_index.index_of("alpha/cpu")]
+
+    def test_balance_improvement_positive_for_rebalancing_trade(self, pool_index):
+        settlement, _ = self.make_settlement(pool_index)
+        balance = utilization_balance_improvement(settlement)
+        assert balance["spread_after"] < balance["spread_before"]
+        assert balance["improvement"] > 0
+
+    def test_settlement_by_strategy(self, pool_index):
+        settlement, bids = self.make_settlement(pool_index)
+        groups = settlement_by_strategy(settlement, bids)
+        assert groups["MarketTrackerStrategy"]["win_rate"] == 1.0
+        assert groups["LowballStrategy"]["win_rate"] == 0.0
+        assert groups["SellerStrategy"]["total_received"] > 0
+
+    def test_demand_concentration_and_revenue(self, pool_index):
+        settlement, _ = self.make_settlement(pool_index)
+        concentration = demand_concentration(settlement)
+        assert concentration["beta"] == pytest.approx(1.0)
+        # buyer pays 100, seller receives 100 -> net operator revenue 0
+        assert operator_revenue(settlement) == pytest.approx(0.0)
+
+
+class TestReports:
+    def test_render_table_alignment_and_title(self):
+        text = render_table(["a", "bb"], [["x", 1.5], ["yy", 2.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_premium_and_figure6_and_boxplots(self, pool_index):
+        bids = [Bid.buy("t", pool_index, [{"alpha/cpu": 10}], max_payment=20.0)]
+        settlement = settle(pool_index, bids, np.ones(len(pool_index)))
+        premium_text = render_premium_table([premium_stats(settlement, auction=1)])
+        assert "Auction" in premium_text and "1" in premium_text
+
+        rows = price_ratio_table(
+            pool_index, {n: 1.0 for n in pool_index.names}, {n: 1.0 for n in pool_index.names}
+        )
+        figure6_text = render_figure6_rows(rows)
+        assert "alpha" in figure6_text
+
+        boxes = figure7_boxplots(settlement)
+        box_text = render_boxplots(boxes)
+        assert "CPU Bids" in box_text

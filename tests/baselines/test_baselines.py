@@ -1,0 +1,205 @@
+"""Unit tests for the traditional-allocation baselines and the comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.comparison import (
+    allocation_metrics,
+    compare_outcomes,
+    market_outcome_from_quota_delta,
+    market_outcome_from_settlement,
+    requests_from_demands,
+)
+from repro.baselines.fixed_price import FixedPriceAllocator
+from repro.baselines.priority import PriorityAllocator
+from repro.baselines.proportional import ProportionalShareAllocator
+from repro.baselines.requests import AllocationOutcome, QuotaRequest
+from repro.core.bids import Bid
+from repro.core.settlement import settle
+from tests.conftest import build_pool_index
+
+
+@pytest.fixture
+def idle_index():
+    """Two clusters, both half empty, with round capacities for easy math."""
+    return build_pool_index({"alpha": 0.5, "beta": 0.5}, capacity_scale=1000.0)
+
+
+class TestQuotaRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuotaRequest(team="", quantities={"a/cpu": 1})
+        with pytest.raises(ValueError):
+            QuotaRequest(team="t", quantities={})
+        with pytest.raises(ValueError):
+            QuotaRequest(team="t", quantities={"a/cpu": -1})
+
+    def test_vector(self, idle_index):
+        request = QuotaRequest(team="t", quantities={"alpha/cpu": 10})
+        assert request.vector(idle_index)[idle_index.index_of("alpha/cpu")] == 10.0
+
+    def test_unknown_pool_rejected_by_allocators(self, idle_index):
+        request = QuotaRequest(team="t", quantities={"nowhere/cpu": 10})
+        with pytest.raises(KeyError):
+            FixedPriceAllocator().allocate(idle_index, [request])
+
+
+class TestFixedPriceAllocator:
+    def test_grants_until_capacity_exhausted(self, idle_index):
+        # available alpha/cpu = 500; three requests of 200 arrive in order
+        requests = [QuotaRequest(team=f"t{i}", quantities={"alpha/cpu": 200}) for i in range(3)]
+        outcome = FixedPriceAllocator().allocate(idle_index, requests)
+        assert outcome.grant_fraction("t0") == 1.0
+        assert outcome.grant_fraction("t1") == 1.0
+        assert outcome.grant_fraction("t2") == pytest.approx(0.5)  # only 100 left
+        assert outcome.shortage()[idle_index.index_of("alpha/cpu")] == pytest.approx(100.0)
+
+    def test_all_or_nothing_mode(self, idle_index):
+        requests = [QuotaRequest(team=f"t{i}", quantities={"alpha/cpu": 300}) for i in range(2)]
+        outcome = FixedPriceAllocator(partial_grants=False).allocate(idle_index, requests)
+        assert outcome.grant_fraction("t0") == 1.0
+        assert outcome.grant_fraction("t1") == 0.0
+
+    def test_idle_cluster_keeps_surplus(self, idle_index):
+        requests = [QuotaRequest(team="t", quantities={"alpha/cpu": 100})]
+        outcome = FixedPriceAllocator().allocate(idle_index, requests)
+        surplus = outcome.surplus()
+        assert surplus[idle_index.index_of("beta/cpu")] == pytest.approx(500.0)
+        assert surplus[idle_index.index_of("alpha/cpu")] == pytest.approx(400.0)
+
+
+class TestProportionalShareAllocator:
+    def test_scales_down_oversubscribed_pool_uniformly(self, idle_index):
+        requests = [QuotaRequest(team=f"t{i}", quantities={"alpha/cpu": 500}) for i in range(2)]
+        outcome = ProportionalShareAllocator().allocate(idle_index, requests)
+        # total demand 1000 against 500 available -> everyone gets half
+        assert outcome.grant_fraction("t0") == pytest.approx(0.5)
+        assert outcome.grant_fraction("t1") == pytest.approx(0.5)
+        assert outcome.fully_satisfied_teams() == []
+
+    def test_undersubscribed_pool_fully_granted(self, idle_index):
+        requests = [QuotaRequest(team="t", quantities={"beta/ram": 100})]
+        outcome = ProportionalShareAllocator().allocate(idle_index, requests)
+        assert outcome.grant_fraction("t") == 1.0
+
+    def test_empty_request_list(self, idle_index):
+        outcome = ProportionalShareAllocator().allocate(idle_index, [])
+        assert outcome.teams() == []
+        assert not np.any(outcome.total_granted())
+
+
+class TestPriorityAllocator:
+    def test_higher_priority_served_first(self, idle_index):
+        requests = [
+            QuotaRequest(team="low", quantities={"alpha/cpu": 400}, priority=0),
+            QuotaRequest(team="high", quantities={"alpha/cpu": 400}, priority=5),
+        ]
+        outcome = PriorityAllocator().allocate(idle_index, requests)
+        assert outcome.grant_fraction("high") == 1.0
+        assert outcome.grant_fraction("low") == pytest.approx(0.25)  # 100 of 400 left
+
+    def test_arrival_order_breaks_ties(self, idle_index):
+        requests = [
+            QuotaRequest(team="first", quantities={"alpha/cpu": 400}, priority=1),
+            QuotaRequest(team="second", quantities={"alpha/cpu": 400}, priority=1),
+        ]
+        outcome = PriorityAllocator().allocate(idle_index, requests)
+        assert outcome.grant_fraction("first") == 1.0
+        assert outcome.grant_fraction("second") < 1.0
+
+
+class TestAllocationOutcomeAndMetrics:
+    def test_record_accumulates(self, idle_index):
+        outcome = AllocationOutcome(index=idle_index, policy="x")
+        vec = idle_index.vector({"alpha/cpu": 10})
+        outcome.record("t", vec, vec)
+        outcome.record("t", vec, vec * 0.5)
+        assert outcome.requested["t"][idle_index.index_of("alpha/cpu")] == 20.0
+        assert outcome.granted["t"][idle_index.index_of("alpha/cpu")] == 15.0
+
+    def test_metrics_on_fully_satisfied_outcome(self, idle_index):
+        requests = [QuotaRequest(team="t", quantities={"alpha/cpu": 100})]
+        outcome = FixedPriceAllocator().allocate(idle_index, requests)
+        metrics = allocation_metrics(outcome)
+        assert metrics.shortage_cost == pytest.approx(0.0)
+        assert metrics.satisfied_fraction == 1.0
+        assert metrics.grant_rate == pytest.approx(1.0)
+        assert metrics.policy == "fixed_price_fcfs"
+
+    def test_metrics_detect_shortage(self, idle_index):
+        requests = [QuotaRequest(team="t", quantities={"alpha/cpu": 800})]
+        metrics = allocation_metrics(FixedPriceAllocator().allocate(idle_index, requests))
+        # 300 CPU unmet at unit cost 10
+        assert metrics.shortage_cost == pytest.approx(3000.0)
+        assert metrics.satisfied_fraction == 0.0
+
+    def test_relocated_grant_counts_as_satisfied(self, idle_index):
+        # market-style outcome: requested in alpha, granted the equivalent in beta
+        outcome = AllocationOutcome(index=idle_index, policy="market")
+        outcome.record(
+            "t",
+            idle_index.vector({"alpha/cpu": 100}),
+            idle_index.vector({"beta/cpu": 100}),
+        )
+        metrics = allocation_metrics(outcome)
+        assert metrics.shortage_cost == pytest.approx(0.0)
+        assert metrics.satisfied_fraction == 1.0
+
+    def test_compare_outcomes_keys_by_policy(self, idle_index):
+        requests = [QuotaRequest(team="t", quantities={"alpha/cpu": 100})]
+        outcomes = [
+            FixedPriceAllocator().allocate(idle_index, requests),
+            ProportionalShareAllocator().allocate(idle_index, requests),
+        ]
+        metrics = compare_outcomes(outcomes)
+        assert set(metrics) == {"fixed_price_fcfs", "proportional_share"}
+
+    def test_requests_from_demands(self, idle_index):
+        requests = requests_from_demands(
+            idle_index, {"a": {"alpha/cpu": 5}, "b": {}}, priorities={"a": 2}
+        )
+        assert len(requests) == 1
+        assert requests[0].priority == 2
+
+
+class TestMarketOutcomes:
+    def test_from_settlement_uses_requests_for_losers(self, idle_index):
+        bids = [
+            Bid.buy("winner", idle_index, [{"alpha/cpu": 10}], max_payment=1e6),
+            Bid.buy("loser", idle_index, [{"alpha/cpu": 10}], max_payment=0.0),
+        ]
+        settlement = settle(idle_index, bids, np.ones(len(idle_index)))
+        requests = [
+            QuotaRequest(team="winner", quantities={"alpha/cpu": 10}),
+            QuotaRequest(team="loser", quantities={"alpha/cpu": 10}),
+        ]
+        outcome = market_outcome_from_settlement(settlement, requests)
+        assert outcome.grant_fraction("winner") == 1.0
+        assert outcome.grant_fraction("loser") == 0.0
+
+    def test_from_quota_delta(self, idle_index):
+        requests = [QuotaRequest(team="t", quantities={"alpha/cpu": 100})]
+        initial = {"t": {"alpha/cpu": 20.0}}
+        final = {"t": {"alpha/cpu": 80.0, "beta/cpu": 40.0}}
+        outcome = market_outcome_from_quota_delta(idle_index, requests, initial, final)
+        granted = outcome.granted["t"]
+        assert granted[idle_index.index_of("alpha/cpu")] == pytest.approx(60.0)
+        assert granted[idle_index.index_of("beta/cpu")] == pytest.approx(40.0)
+        # cost-weighted: requested 100 CPU, acquired 100 CPU worth -> satisfied
+        metrics = allocation_metrics(outcome)
+        assert metrics.satisfied_fraction == 1.0
+
+    def test_from_quota_delta_ignores_sold_quota(self, idle_index):
+        outcome = market_outcome_from_quota_delta(
+            idle_index,
+            [QuotaRequest(team="t", quantities={"alpha/cpu": 10})],
+            {"t": {"alpha/cpu": 100.0}},
+            {"t": {"alpha/cpu": 40.0}},
+        )
+        assert not np.any(outcome.granted["t"])
+
+    def test_from_quota_delta_includes_unrequested_acquirers(self, idle_index):
+        outcome = market_outcome_from_quota_delta(
+            idle_index, [], {}, {"newcomer": {"beta/cpu": 10.0}}
+        )
+        assert "newcomer" in outcome.teams()

@@ -1,0 +1,114 @@
+"""Unit tests for Cluster and FleetTopology."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.jobs import Job
+from repro.cluster.resources import ResourceType, cpu_ram_disk
+from repro.cluster.topology import FleetTopology, Site
+
+
+class TestCluster:
+    def test_homogeneous_builder(self):
+        cluster = Cluster.homogeneous("c0", machine_count=5, machine_capacity=cpu_ram_disk(10, 40, 100))
+        assert len(cluster) == 5
+        assert cluster.capacity == cpu_ram_disk(50, 200, 500)
+
+    def test_homogeneous_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            Cluster.homogeneous("c0", machine_count=-1)
+
+    def test_utilization_from_placed_jobs(self):
+        cluster = Cluster.homogeneous("c0", machine_count=2, machine_capacity=cpu_ram_disk(10, 10, 10))
+        cluster.machines[0].place(Job(owner="x", demand=cpu_ram_disk(5, 0, 0)))
+        assert cluster.utilization(ResourceType.CPU) == pytest.approx(0.25)
+        assert cluster.utilization(ResourceType.RAM) == pytest.approx(0.0)
+
+    def test_background_load_contributes_to_utilization(self):
+        cluster = Cluster.homogeneous("c0", machine_count=2, machine_capacity=cpu_ram_disk(10, 10, 10))
+        cluster.set_background_load({ResourceType.CPU: 0.5})
+        assert cluster.utilization(ResourceType.CPU) == pytest.approx(0.5)
+        assert cluster.free.cpu == pytest.approx(10.0)
+
+    def test_background_load_is_clamped_to_unit_interval(self):
+        cluster = Cluster.homogeneous("c0", machine_count=1)
+        cluster.set_background_load({ResourceType.CPU: 1.5, ResourceType.RAM: -0.2})
+        assert cluster.background_load[ResourceType.CPU] == 1.0
+        assert cluster.background_load[ResourceType.RAM] == 0.0
+
+    def test_utilization_capped_at_one(self):
+        cluster = Cluster.homogeneous("c0", machine_count=1, machine_capacity=cpu_ram_disk(10, 10, 10))
+        cluster.set_background_load({ResourceType.CPU: 0.99})
+        cluster.machines[0].place(Job(owner="x", demand=cpu_ram_disk(5, 0, 0)))
+        assert cluster.utilization(ResourceType.CPU) == 1.0
+
+    def test_jobs_by_owner(self):
+        cluster = Cluster.homogeneous("c0", machine_count=2, machine_capacity=cpu_ram_disk(100, 100, 100))
+        cluster.machines[0].place(Job(owner="ads", demand=cpu_ram_disk(1, 1, 1)))
+        cluster.machines[1].place(Job(owner="maps", demand=cpu_ram_disk(1, 1, 1)))
+        assert len(cluster.jobs()) == 2
+        assert len(cluster.jobs_by_owner("ads")) == 1
+
+    def test_clear_jobs_keeps_background_load(self):
+        cluster = Cluster.homogeneous("c0", machine_count=1, machine_capacity=cpu_ram_disk(10, 10, 10))
+        cluster.set_background_load({ResourceType.CPU: 0.3})
+        cluster.machines[0].place(Job(owner="x", demand=cpu_ram_disk(2, 0, 0)))
+        cluster.clear_jobs()
+        assert cluster.jobs() == []
+        assert cluster.utilization(ResourceType.CPU) == pytest.approx(0.3)
+
+    def test_empty_cluster_utilization_is_zero(self):
+        cluster = Cluster(name="empty")
+        assert cluster.utilization(ResourceType.CPU) == 0.0
+        assert cluster.capacity.is_zero()
+
+
+class TestFleetTopology:
+    def build(self) -> FleetTopology:
+        topo = FleetTopology()
+        topo.add_site(Site(name="us-east", coordinates=(0.0, 0.0)))
+        topo.add_site(Site(name="eu-west", coordinates=(3.0, 4.0)))
+        topo.add_cluster(Cluster.homogeneous("c-us", machine_count=1, site="us-east"))
+        topo.add_cluster(Cluster.homogeneous("c-eu", machine_count=1, site="eu-west"))
+        return topo
+
+    def test_add_cluster_requires_known_site(self):
+        topo = FleetTopology()
+        with pytest.raises(KeyError):
+            topo.add_cluster(Cluster.homogeneous("c0", machine_count=1, site="nowhere"))
+
+    def test_duplicate_cluster_rejected(self):
+        topo = self.build()
+        with pytest.raises(ValueError):
+            topo.add_cluster(Cluster.homogeneous("c-us", machine_count=1, site="us-east"))
+
+    def test_duplicate_site_with_different_attributes_rejected(self):
+        topo = self.build()
+        with pytest.raises(ValueError):
+            topo.add_site(Site(name="us-east", coordinates=(9.0, 9.0)))
+
+    def test_site_distance_is_euclidean(self):
+        topo = self.build()
+        assert topo.site_distance("us-east", "eu-west") == pytest.approx(5.0)
+
+    def test_cluster_distance_same_site_is_zero(self):
+        topo = self.build()
+        topo.add_cluster(Cluster.homogeneous("c-us-2", machine_count=1, site="us-east"))
+        assert topo.cluster_distance("c-us", "c-us-2") == 0.0
+        assert topo.cluster_distance("c-us", "c-eu") == pytest.approx(5.0)
+
+    def test_from_clusters_autocreates_sites(self):
+        clusters = [Cluster.homogeneous(f"c{i}", machine_count=1, site=f"s{i}") for i in range(3)]
+        topo = FleetTopology.from_clusters(clusters)
+        assert len(topo) == 3
+        assert set(topo.sites) == {"s0", "s1", "s2"}
+
+    def test_clusters_at_and_site_of(self):
+        topo = self.build()
+        assert [c.name for c in topo.clusters_at("us-east")] == ["c-us"]
+        assert topo.site_of("c-eu").name == "eu-west"
+
+    def test_iteration_and_len(self):
+        topo = self.build()
+        assert len(topo) == 2
+        assert {c.name for c in topo} == {"c-us", "c-eu"}

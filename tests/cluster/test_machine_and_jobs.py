@@ -1,0 +1,134 @@
+"""Unit tests for the job model and machine placement."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.jobs import Job, JobState, make_job_batch, total_footprint
+from repro.cluster.machine import CapacityError, Machine
+from repro.cluster.resources import ResourceType, cpu_ram_disk
+
+
+class TestJob:
+    def test_footprint_scales_with_tasks(self):
+        job = Job(owner="search", demand=cpu_ram_disk(2, 8, 100), tasks=10)
+        assert job.footprint == cpu_ram_disk(20, 80, 1000)
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            Job(owner="x", demand=cpu_ram_disk(1, 1, 1), tasks=0)
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError):
+            Job(owner="x", demand=cpu_ram_disk(-1, 1, 1))
+
+    def test_default_name_includes_owner(self):
+        job = Job(owner="ads", demand=cpu_ram_disk(1, 1, 1))
+        assert job.name.startswith("ads/")
+
+    def test_split_tasks_preserves_total_footprint(self):
+        job = Job(owner="x", demand=cpu_ram_disk(1, 2, 3), tasks=5)
+        parts = job.split_tasks()
+        assert len(parts) == 5
+        assert total_footprint(parts) == job.footprint
+
+    def test_jobs_get_unique_ids(self):
+        a = Job(owner="x", demand=cpu_ram_disk(1, 1, 1))
+        b = Job(owner="x", demand=cpu_ram_disk(1, 1, 1))
+        assert a.job_id != b.job_id
+
+
+class TestMakeJobBatch:
+    def test_count_and_owner(self, rng):
+        jobs = make_job_batch("maps", count=25, rng=rng)
+        assert len(jobs) == 25
+        assert all(job.owner == "maps" for job in jobs)
+
+    def test_demands_within_configured_ranges(self, rng):
+        jobs = make_job_batch("maps", count=50, rng=rng, cpu_range=(1.0, 2.0), tasks_range=(1, 4))
+        for job in jobs:
+            assert 1.0 <= job.demand.cpu <= 2.0
+            assert 1 <= job.tasks <= 4
+
+    def test_deterministic_given_seed(self):
+        a = make_job_batch("t", count=10, rng=np.random.default_rng(3))
+        b = make_job_batch("t", count=10, rng=np.random.default_rng(3))
+        assert [j.demand for j in a] == [j.demand for j in b]
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_job_batch("t", count=-1, rng=rng)
+
+    def test_zero_count_gives_empty_batch(self, rng):
+        assert make_job_batch("t", count=0, rng=rng) == []
+
+
+class TestMachine:
+    def make_machine(self) -> Machine:
+        return Machine(name="m0", capacity=cpu_ram_disk(32, 128, 1000))
+
+    def test_initially_empty(self):
+        machine = self.make_machine()
+        assert machine.used.is_zero()
+        assert machine.free == machine.capacity
+
+    def test_place_updates_used_and_free(self):
+        machine = self.make_machine()
+        job = Job(owner="x", demand=cpu_ram_disk(8, 32, 100))
+        machine.place(job)
+        assert machine.used == cpu_ram_disk(8, 32, 100)
+        assert machine.free == cpu_ram_disk(24, 96, 900)
+        assert job.state is JobState.RUNNING
+
+    def test_place_rejects_when_over_capacity(self):
+        machine = self.make_machine()
+        job = Job(owner="x", demand=cpu_ram_disk(64, 1, 1))
+        with pytest.raises(CapacityError):
+            machine.place(job)
+
+    def test_place_same_job_twice_rejected(self):
+        machine = self.make_machine()
+        job = Job(owner="x", demand=cpu_ram_disk(1, 1, 1))
+        machine.place(job)
+        with pytest.raises(CapacityError):
+            machine.place(job)
+
+    def test_evict_releases_resources(self):
+        machine = self.make_machine()
+        job = Job(owner="x", demand=cpu_ram_disk(8, 32, 100))
+        machine.place(job)
+        machine.evict(job)
+        assert machine.used.is_zero()
+        assert job.state is JobState.EVICTED
+
+    def test_finish_releases_resources(self):
+        machine = self.make_machine()
+        job = Job(owner="x", demand=cpu_ram_disk(8, 32, 100))
+        machine.place(job)
+        machine.finish(job)
+        assert machine.used.is_zero()
+        assert job.state is JobState.FINISHED
+
+    def test_evict_unplaced_job_raises(self):
+        machine = self.make_machine()
+        job = Job(owner="x", demand=cpu_ram_disk(1, 1, 1))
+        with pytest.raises(KeyError):
+            machine.evict(job)
+
+    def test_utilization_per_dimension(self):
+        machine = self.make_machine()
+        machine.place(Job(owner="x", demand=cpu_ram_disk(16, 32, 100)))
+        assert machine.utilization(ResourceType.CPU) == pytest.approx(0.5)
+        assert machine.utilization(ResourceType.RAM) == pytest.approx(0.25)
+        assert machine.dominant_utilization() == pytest.approx(0.5)
+
+    def test_clear_removes_all_jobs(self):
+        machine = self.make_machine()
+        for _ in range(3):
+            machine.place(Job(owner="x", demand=cpu_ram_disk(1, 1, 1)))
+        machine.clear()
+        assert machine.used.is_zero()
+        assert not machine.jobs
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(name="bad", capacity=cpu_ram_disk(-1, 0, 0))

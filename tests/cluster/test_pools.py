@@ -1,0 +1,140 @@
+"""Unit tests for ResourcePool and PoolIndex."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.pools import PoolIndex, ResourcePool, pools_from_topology
+from repro.cluster.resources import ResourceType, cpu_ram_disk
+from repro.cluster.topology import FleetTopology
+
+
+def make_pool(cluster="c0", rtype=ResourceType.CPU, capacity=100.0, cost=10.0, util=0.5):
+    return ResourcePool(cluster=cluster, rtype=rtype, capacity=capacity, unit_cost=cost, utilization=util)
+
+
+class TestResourcePool:
+    def test_name_combines_cluster_and_type(self):
+        assert make_pool().name == "c0/cpu"
+
+    def test_available_capacity(self):
+        assert make_pool(capacity=100, util=0.25).available == pytest.approx(75.0)
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            make_pool(util=1.5)
+        with pytest.raises(ValueError):
+            make_pool(util=-0.1)
+
+    def test_negative_capacity_or_cost_rejected(self):
+        with pytest.raises(ValueError):
+            make_pool(capacity=-1)
+        with pytest.raises(ValueError):
+            make_pool(cost=-1)
+
+    def test_with_utilization_clips_to_unit_interval(self):
+        pool = make_pool(util=0.5)
+        assert pool.with_utilization(1.7).utilization == 1.0
+        assert pool.with_utilization(-0.2).utilization == 0.0
+        assert pool.with_utilization(0.8).utilization == pytest.approx(0.8)
+
+
+class TestPoolIndex:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PoolIndex([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            PoolIndex([make_pool(), make_pool()])
+
+    def test_lookup_and_membership(self, pool_index):
+        assert "alpha/cpu" in pool_index
+        assert "gamma/cpu" not in pool_index
+        assert pool_index.pool("alpha/cpu").rtype is ResourceType.CPU
+        assert pool_index.index_of("alpha/cpu") == 0
+
+    def test_names_follow_insertion_order(self, pool_index):
+        assert pool_index.names[:3] == ["alpha/cpu", "alpha/ram", "alpha/disk"]
+
+    def test_pools_of_cluster_and_type(self, pool_index):
+        assert len(pool_index.pools_of_cluster("alpha")) == 3
+        assert len(pool_index.pools_of_type(ResourceType.RAM)) == 2
+
+    def test_clusters_in_first_appearance_order(self, pool_index):
+        assert pool_index.clusters() == ["alpha", "beta"]
+
+    def test_vector_views_have_matching_lengths(self, pool_index):
+        n = len(pool_index)
+        assert pool_index.capacities().shape == (n,)
+        assert pool_index.unit_costs().shape == (n,)
+        assert pool_index.utilizations().shape == (n,)
+        assert pool_index.available().shape == (n,)
+
+    def test_available_is_capacity_times_one_minus_util(self, pool_index):
+        np.testing.assert_allclose(
+            pool_index.available(),
+            pool_index.capacities() * (1 - pool_index.utilizations()),
+        )
+
+    def test_vector_construction_and_describe_round_trip(self, pool_index):
+        quantities = {"alpha/cpu": 10.0, "beta/disk": -5.0}
+        vec = pool_index.vector(quantities)
+        assert vec[pool_index.index_of("alpha/cpu")] == 10.0
+        assert pool_index.describe(vec) == quantities
+
+    def test_vector_unknown_pool_raises(self, pool_index):
+        with pytest.raises(KeyError):
+            pool_index.vector({"nope/cpu": 1.0})
+
+    def test_describe_rejects_wrong_shape(self, pool_index):
+        with pytest.raises(ValueError):
+            pool_index.describe(np.zeros(3))
+
+    def test_cluster_bundle(self, pool_index):
+        vec = pool_index.cluster_bundle("beta", cpu=4, ram=16, disk=100)
+        described = pool_index.describe(vec)
+        assert described == {"beta/cpu": 4.0, "beta/ram": 16.0, "beta/disk": 100.0}
+
+    def test_cluster_bundle_all_zero_is_zero_vector(self, pool_index):
+        assert not np.any(pool_index.cluster_bundle("beta"))
+
+    def test_with_utilizations_mapping(self, pool_index):
+        updated = pool_index.with_utilizations({"alpha/cpu": 0.1})
+        assert updated.pool("alpha/cpu").utilization == pytest.approx(0.1)
+        # untouched pools keep their utilization
+        assert updated.pool("beta/cpu").utilization == pool_index.pool("beta/cpu").utilization
+
+    def test_with_utilizations_array(self, pool_index):
+        arr = np.full(len(pool_index), 0.42)
+        updated = pool_index.with_utilizations(arr)
+        assert np.allclose(updated.utilizations(), 0.42)
+
+    def test_with_utilizations_wrong_length_rejected(self, pool_index):
+        with pytest.raises(ValueError):
+            pool_index.with_utilizations(np.zeros(2))
+
+
+class TestPoolsFromTopology:
+    def test_builds_three_pools_per_cluster(self):
+        clusters = [
+            Cluster.homogeneous("c0", machine_count=2, machine_capacity=cpu_ram_disk(10, 40, 100)),
+            Cluster.homogeneous("c1", machine_count=1, machine_capacity=cpu_ram_disk(10, 40, 100)),
+        ]
+        topo = FleetTopology.from_clusters(clusters)
+        index = pools_from_topology(topo)
+        assert len(index) == 6
+        assert index.pool("c0/cpu").capacity == pytest.approx(20.0)
+        assert index.pool("c1/ram").capacity == pytest.approx(40.0)
+
+    def test_custom_unit_costs(self):
+        clusters = [Cluster.homogeneous("c0", machine_count=1)]
+        index = pools_from_topology(clusters, unit_costs={ResourceType.CPU: 99.0, ResourceType.RAM: 1.0, ResourceType.DISK: 0.5})
+        assert index.pool("c0/cpu").unit_cost == 99.0
+
+    def test_utilization_read_from_cluster_state(self):
+        cluster = Cluster.homogeneous("c0", machine_count=1, machine_capacity=cpu_ram_disk(10, 10, 10))
+        cluster.set_background_load({ResourceType.CPU: 0.6})
+        index = pools_from_topology([cluster])
+        assert index.pool("c0/cpu").utilization == pytest.approx(0.6)
+        assert index.pool("c0/ram").utilization == pytest.approx(0.0)

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.fleet_gen import FleetSpec, generate_fleet, small_fleet
+from repro.cluster.pools import PoolIndex, ResourcePool
+from repro.cluster.resources import ResourceType
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+def build_pool_index(
+    cluster_utils: dict[str, float] | None = None,
+    *,
+    capacity_scale: float = 1000.0,
+) -> PoolIndex:
+    """Build a small, fully deterministic pool index for unit tests.
+
+    ``cluster_utils`` maps cluster name -> utilization fraction applied to all
+    three resource dimensions of that cluster.
+    """
+    cluster_utils = cluster_utils or {"alpha": 0.9, "beta": 0.3}
+    pools: list[ResourcePool] = []
+    costs = {ResourceType.CPU: 10.0, ResourceType.RAM: 2.0, ResourceType.DISK: 0.05}
+    caps = {
+        ResourceType.CPU: capacity_scale,
+        ResourceType.RAM: capacity_scale * 4,
+        ResourceType.DISK: capacity_scale * 100,
+    }
+    for cluster, util in cluster_utils.items():
+        for rtype in ResourceType:
+            pools.append(
+                ResourcePool(
+                    cluster=cluster,
+                    rtype=rtype,
+                    capacity=caps[rtype],
+                    unit_cost=costs[rtype],
+                    utilization=util,
+                )
+            )
+    return PoolIndex(pools)
+
+
+@pytest.fixture
+def pool_index() -> PoolIndex:
+    """Two clusters (one congested at 0.9, one idle at 0.3), three pools each."""
+    return build_pool_index()
+
+
+@pytest.fixture
+def three_cluster_index() -> PoolIndex:
+    """Three clusters with low / medium / high utilization."""
+    return build_pool_index({"low": 0.15, "mid": 0.55, "high": 0.95})
+
+
+@pytest.fixture
+def tiny_fleet():
+    """A generated synthetic fleet small enough for fast tests."""
+    return small_fleet(4, seed=7)
+
+
+@pytest.fixture
+def medium_fleet():
+    """A mid-size fleet (10 clusters) used by integration tests."""
+    spec = FleetSpec(cluster_count=10, sites=3, machines_range=(10, 40))
+    return generate_fleet(spec, seed=11)

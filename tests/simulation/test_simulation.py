@@ -1,0 +1,231 @@
+"""Unit and integration tests for the discrete-event engine, workload helpers, scenario, and economy."""
+
+import numpy as np
+import pytest
+
+from repro.agents.population import PopulationSpec
+from repro.cluster.fleet_gen import FleetSpec
+from repro.simulation.economy import MarketEconomySimulation, run_economy
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.scenario import ScenarioConfig, build_scenario, small_scenario
+from repro.simulation.workload import (
+    apply_settlement_to_utilization,
+    demands_from_agents,
+    organic_drift,
+    priorities_from_agents,
+)
+
+
+class TestSimulationEngine:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(5.0, lambda e: order.append("late"), name="late")
+        engine.schedule(1.0, lambda e: order.append("early"), name="early")
+        engine.run()
+        assert order == ["early", "late"]
+        assert engine.now == 5.0
+        assert engine.processed_events == 2
+
+    def test_priority_breaks_ties(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda e: order.append("b"), priority=1)
+        engine.schedule(1.0, lambda e: order.append("a"), priority=0)
+        engine.run()
+        assert order == ["a", "b"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule(-1.0, lambda e: None)
+
+    def test_schedule_at_and_past_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        engine.schedule_at(12.0, lambda e: None)
+        with pytest.raises(ValueError):
+            engine.schedule_at(5.0, lambda e: None)
+
+    def test_cancel(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda e: fired.append(1))
+        engine.cancel(handle)
+        engine.run()
+        assert fired == []
+        assert engine.pending() == 0
+
+    def test_periodic_schedule(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(2.0, lambda e: ticks.append(e.now), count=3)
+        engine.run()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_periodic_validation(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_periodic(0.0, lambda e: None, count=1)
+        with pytest.raises(ValueError):
+            engine.schedule_periodic(1.0, lambda e: None, count=-1)
+
+    def test_run_until_bound(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda e: fired.append(1))
+        engine.schedule(10.0, lambda e: fired.append(2))
+        executed = engine.run(until=5.0)
+        assert executed == 1 and fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 2]
+
+    def test_max_events_bound(self):
+        engine = SimulationEngine()
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda e: None)
+        assert engine.run(max_events=2) == 2
+        assert engine.pending() == 3
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def first(e):
+            seen.append("first")
+            e.schedule(1.0, lambda e2: seen.append("chained"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert seen == ["first", "chained"]
+        assert [name for _, name in engine.trace] == ["", ""]
+
+
+class TestWorkloadHelpers:
+    def test_demands_from_agents(self):
+        scenario = small_scenario(seed=1, team_count=10, cluster_count=4)
+        demands = demands_from_agents(scenario.agents, scenario.pool_index)
+        assert set(demands) <= {a.name for a in scenario.agents}
+        assert all(all(q > 0 for q in bundle.values()) for bundle in demands.values())
+
+    def test_priorities_are_in_range_and_deterministic(self):
+        scenario = small_scenario(seed=1, team_count=20, cluster_count=4)
+        a = priorities_from_agents(scenario.agents, seed=3)
+        b = priorities_from_agents(scenario.agents, seed=3)
+        assert a == b
+        assert set(a.values()) <= {0, 1, 2}
+
+    def test_organic_drift_stays_in_bounds(self, pool_index, rng):
+        drifted = organic_drift(pool_index, rng=rng, drift_scale=0.5)
+        utils = drifted.utilizations()
+        assert np.all(utils >= 0.02) and np.all(utils <= 0.99)
+        assert drifted.names == pool_index.names
+
+    def test_organic_drift_zero_scale_is_identity(self, pool_index, rng):
+        drifted = organic_drift(pool_index, rng=rng, drift_scale=0.0)
+        np.testing.assert_allclose(drifted.utilizations(), pool_index.utilizations())
+
+    def test_apply_settlement_to_utilization(self, pool_index):
+        net = np.zeros(len(pool_index))
+        net[pool_index.index_of("beta/cpu")] = pool_index.pool("beta/cpu").capacity * 0.1
+        net[pool_index.index_of("alpha/cpu")] = -pool_index.pool("alpha/cpu").capacity * 0.1
+        updated = apply_settlement_to_utilization(pool_index, net, move_out_fraction=1.0)
+        assert updated.pool("beta/cpu").utilization == pytest.approx(0.4)
+        assert updated.pool("alpha/cpu").utilization == pytest.approx(0.8)
+
+    def test_move_out_fraction_limits_freed_load(self, pool_index):
+        net = np.zeros(len(pool_index))
+        net[pool_index.index_of("alpha/cpu")] = -pool_index.pool("alpha/cpu").capacity * 0.2
+        updated = apply_settlement_to_utilization(pool_index, net, move_out_fraction=0.5)
+        assert updated.pool("alpha/cpu").utilization == pytest.approx(0.8)
+        with pytest.raises(ValueError):
+            apply_settlement_to_utilization(pool_index, net, move_out_fraction=2.0)
+
+
+class TestScenario:
+    def test_build_scenario_registers_all_teams(self):
+        scenario = small_scenario(seed=2, team_count=12, cluster_count=4)
+        assert len(scenario.agents) == 12
+        for agent in scenario.agents:
+            assert scenario.platform.ledger.has_account(agent.name)
+            assert scenario.platform.ledger.balance(agent.name) > 0
+
+    def test_scenario_is_deterministic(self):
+        a = small_scenario(seed=5)
+        b = small_scenario(seed=5)
+        np.testing.assert_allclose(a.pool_index.utilizations(), b.pool_index.utilizations())
+        assert [x.name for x in a.agents] == [x.name for x in b.agents]
+
+    def test_config_knobs_flow_through(self):
+        config = ScenarioConfig(
+            fleet=FleetSpec(cluster_count=5, machines_range=(5, 10)),
+            population=PopulationSpec(team_count=7),
+            operator_supply_fraction=0.5,
+            seed=3,
+        )
+        scenario = build_scenario(config)
+        assert len(scenario.fleet.clusters) == 5
+        assert len(scenario.agents) == 7
+        assert scenario.platform._operator_supply_fraction == 0.5
+
+
+class TestEconomySimulation:
+    @pytest.fixture(scope="class")
+    def history(self):
+        scenario = small_scenario(seed=4, team_count=25, cluster_count=8)
+        sim = MarketEconomySimulation(scenario)
+        return sim.run(3), scenario
+
+    def test_runs_requested_number_of_auctions(self, history):
+        hist, _ = history
+        assert len(hist) == 3
+        assert [p.auction_number for p in hist.periods] == [1, 2, 3]
+
+    def test_every_auction_converges_and_verifies(self, history):
+        hist, _ = history
+        for period in hist.periods:
+            assert period.record.result.outcome.converged
+            assert period.record.result.constraints.satisfied, period.record.result.constraints.violations
+
+    def test_premium_rows_and_series(self, history):
+        hist, _ = history
+        rows = hist.premium_rows()
+        assert len(rows) == 3
+        assert hist.median_premium_series() == [r.median_premium for r in rows]
+        assert len(hist.utilization_spread_series()) == 3
+
+    def test_agents_receive_feedback(self, history):
+        hist, scenario = history
+        assert any(agent.settlement_history for agent in scenario.agents)
+
+    def test_platform_history_matches_periods(self, history):
+        hist, scenario = history
+        assert len(scenario.platform.history) == 3
+        assert scenario.platform.history[0].auction_id == 1
+
+    def test_utilization_evolves_between_auctions(self, history):
+        hist, _ = history
+        assert not np.allclose(hist.periods[0].utilization_before, hist.periods[-1].utilization_after)
+
+    def test_trades_pooled_across_auctions(self, history):
+        hist, _ = history
+        assert len(hist.all_trades()) >= sum(len(p.trades) for p in hist.periods[:1])
+
+    def test_run_economy_helper(self):
+        scenario = small_scenario(seed=6, team_count=15, cluster_count=5)
+        hist = run_economy(scenario, auctions=2)
+        assert len(hist) == 2
+
+    def test_invalid_parameters(self):
+        scenario = small_scenario(seed=7, team_count=5, cluster_count=4)
+        with pytest.raises(ValueError):
+            MarketEconomySimulation(scenario, auction_period=0.0)
+        with pytest.raises(ValueError):
+            MarketEconomySimulation(scenario, preliminary_runs=-1)
+        with pytest.raises(ValueError):
+            MarketEconomySimulation(scenario).run(-1)
+
+    def test_preliminary_runs_supported(self):
+        scenario = small_scenario(seed=8, team_count=10, cluster_count=4)
+        sim = MarketEconomySimulation(scenario, preliminary_runs=1)
+        period = sim.run_one_auction()
+        assert period.record.result.outcome.converged
