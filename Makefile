@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test doctest bench bench-smoke check
+
+## tier-1: full unit/property/integration suite plus quick benchmarks
+test:
+	$(PYTHON) -m pytest -x -q
+
+## run every docstring example in repro.core and repro.bidlang
+doctest:
+	$(PYTHON) -m pytest --doctest-modules src/repro/core src/repro/bidlang -q
+
+## paper-scale benchmarks (regenerates the paper's tables/figures)
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## reduced-scale benchmark smoke check
+bench-smoke:
+	REPRO_BENCH_SCALE=test $(PYTHON) -m pytest benchmarks -q
+
+## everything CI runs
+check: test doctest

@@ -41,6 +41,8 @@ from repro.core import (
     AscendingClockAuction,
     AuctionConfig,
     AuctionOutcome,
+    BatchDemandEngine,
+    BatchResponse,
     CombinatorialExchange,
     ExchangeResult,
     ReservePricer,
@@ -69,6 +71,8 @@ __all__ = [
     "AscendingClockAuction",
     "AuctionConfig",
     "AuctionOutcome",
+    "BatchDemandEngine",
+    "BatchResponse",
     "CombinatorialExchange",
     "ExchangeResult",
     "ReservePricer",

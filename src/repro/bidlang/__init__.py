@@ -27,7 +27,14 @@ from repro.bidlang.ast import (
     pool,
     cluster_bundle,
 )
-from repro.bidlang.flatten import flatten, FlattenLimitError, to_bundle_set, tree_bid
+from repro.bidlang.flatten import (
+    FlattenLimitError,
+    batch_engine_from_trees,
+    flatten,
+    flatten_to_matrix,
+    to_bundle_set,
+    tree_bid,
+)
 from repro.bidlang.parser import parse_sexpr, parse_json, BidLanguageSyntaxError
 from repro.bidlang.validate import validate_tree, BidTreeValidationError
 
@@ -44,6 +51,8 @@ __all__ = [
     "pool",
     "cluster_bundle",
     "flatten",
+    "flatten_to_matrix",
+    "batch_engine_from_trees",
     "FlattenLimitError",
     "to_bundle_set",
     "tree_bid",

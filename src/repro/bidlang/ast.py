@@ -161,25 +161,55 @@ class ChooseNode(BidNode):
 
 # -- fluent constructors ---------------------------------------------------------
 def pool(pool_name: str, quantity: float) -> PoolLeaf:
-    """Leaf: ``quantity`` units of ``pool_name``."""
+    """Leaf: ``quantity`` units of ``pool_name``.
+
+    Examples
+    --------
+    >>> pool("a/cpu", 100).to_sexpr()
+    '(pool a/cpu 100)'
+    """
     return PoolLeaf(pool_name=pool_name, quantity=quantity)
 
 
 def cluster_bundle(cluster: str, *, cpu: float = 0.0, ram: float = 0.0, disk: float = 0.0) -> ClusterLeaf:
-    """Leaf: a colocated CPU/RAM/disk bundle in ``cluster``."""
+    """Leaf: a colocated CPU/RAM/disk bundle in ``cluster``.
+
+    Examples
+    --------
+    >>> cluster_bundle("a", cpu=100, ram=400).quantities()
+    {'a/cpu': 100, 'a/ram': 400}
+    """
     return ClusterLeaf(cluster=cluster, cpu=cpu, ram=ram, disk=disk)
 
 
 def and_(*parts: BidNode) -> AndNode:
-    """AND combinator."""
+    """AND combinator: the bidder needs all parts together.
+
+    Examples
+    --------
+    >>> and_(pool("a/cpu", 10), pool("a/ram", 40)).leaf_count()
+    2
+    """
     return AndNode(parts=tuple(parts))
 
 
 def xor(*alternatives: BidNode) -> XorNode:
-    """XOR combinator."""
+    """XOR combinator: the bidder wants exactly one alternative.
+
+    Examples
+    --------
+    >>> xor(pool("a/cpu", 10), pool("b/cpu", 10)).to_sexpr()
+    '(xor (pool a/cpu 10) (pool b/cpu 10))'
+    """
     return XorNode(alternatives=tuple(alternatives))
 
 
 def choose(k: int, *options: BidNode) -> ChooseNode:
-    """CHOOSE-k combinator."""
+    """CHOOSE-k combinator: exactly ``k`` of the options.
+
+    Examples
+    --------
+    >>> choose(2, pool("a/cpu", 1), pool("b/cpu", 1), pool("a/ram", 1)).k
+    2
+    """
     return ChooseNode(k=k, options=tuple(options))

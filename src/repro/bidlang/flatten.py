@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.bidlang.ast import AndNode, BidNode, ChooseNode, ClusterLeaf, PoolLeaf, XorNode
 from repro.cluster.pools import PoolIndex
+from repro.core.batch import BatchDemandEngine
 from repro.core.bids import Bid
 from repro.core.bundles import BundleSet
 
@@ -78,6 +79,13 @@ def flatten(node: BidNode, *, max_bundles: int = 512) -> list[dict[str, float]]:
         Upper bound on the size of the expansion; exceeding it raises
         :class:`FlattenLimitError` rather than silently producing an enormous
         XOR set the auction would be slow to evaluate.
+
+    Examples
+    --------
+    >>> from repro.bidlang.ast import and_, pool, xor
+    >>> tree = and_(pool("a/cpu", 10), xor(pool("a/ram", 40), pool("b/ram", 40)))
+    >>> flatten(tree) == [{"a/cpu": 10, "a/ram": 40}, {"a/cpu": 10, "b/ram": 40}]
+    True
     """
     if isinstance(node, PoolLeaf):
         return [{node.pool_name: node.quantity}]
@@ -106,10 +114,72 @@ def flatten(node: BidNode, *, max_bundles: int = 512) -> list[dict[str, float]]:
 
 
 def to_bundle_set(node: BidNode, index: PoolIndex, *, max_bundles: int = 512) -> BundleSet:
-    """Flatten a bid tree into a :class:`repro.core.bundles.BundleSet` over ``index``."""
+    """Flatten a bid tree into a :class:`repro.core.bundles.BundleSet` over ``index``.
+
+    Examples
+    --------
+    >>> from repro.bidlang.ast import cluster_bundle, xor
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> tree = xor(cluster_bundle("a", cpu=10), cluster_bundle("b", cpu=10))
+    >>> len(to_bundle_set(tree, index))
+    2
+    """
     combos = flatten(node, max_bundles=max_bundles)
     vectors: list[np.ndarray] = [index.vector(combo) for combo in combos]
     return BundleSet(index, vectors)
+
+
+def flatten_to_matrix(node: BidNode, index: PoolIndex, *, max_bundles: int = 512) -> np.ndarray:
+    """Flatten a bid tree straight into a dense ``(k, R)`` quantity matrix.
+
+    The rows are exactly the bundle vectors of :func:`to_bundle_set`, in the
+    same order — this is the raw array form the batch demand engine stacks.
+
+    Examples
+    --------
+    >>> from repro.bidlang.ast import cluster_bundle, xor
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> tree = xor(cluster_bundle("a", cpu=10), cluster_bundle("b", cpu=10))
+    >>> flatten_to_matrix(tree, index).shape
+    (2, 4)
+    """
+    return to_bundle_set(node, index, max_bundles=max_bundles).matrix.copy()
+
+
+def batch_engine_from_trees(
+    specs: Sequence[tuple[str, BidNode, float]],
+    index: PoolIndex,
+    *,
+    max_bundles: int = 512,
+) -> BatchDemandEngine:
+    """Flatten many ``(bidder, tree, limit)`` bids into one batch demand engine.
+
+    The one-stop path from the bidding language to the vectorized auction
+    core: every tree is expanded to its XOR bundle matrix, the matrices are
+    stacked row-wise with per-bidder limits, and the result answers whole
+    rounds of price queries at once.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.bidlang.ast import cluster_bundle
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> engine = batch_engine_from_trees(
+    ...     [("team-a", cluster_bundle("a", cpu=10), 500.0),
+    ...      ("team-b", cluster_bundle("b", cpu=20), 800.0)],
+    ...     index,
+    ... )
+    >>> engine.respond_all(np.ones(len(index))).active_count
+    2
+    """
+    bids = [
+        tree_bid(bidder, node, index, limit, max_bundles=max_bundles)
+        for bidder, node, limit in specs
+    ]
+    return BatchDemandEngine(index, bids)
 
 
 def tree_bid(
@@ -125,6 +195,16 @@ def tree_bid(
 
     ``limit`` follows the paper's convention: positive for a maximum payment,
     negative for a minimum revenue (selling).
+
+    Examples
+    --------
+    >>> from repro.bidlang.ast import cluster_bundle, xor
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> bid = tree_bid("team", xor(cluster_bundle("a", cpu=10), cluster_bundle("b", cpu=10)),
+    ...                index, limit=250.0)
+    >>> bid.bidder, len(bid.bundles), bid.limit
+    ('team', 2, 250.0)
     """
     return Bid(
         bidder=bidder,

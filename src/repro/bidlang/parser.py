@@ -125,7 +125,16 @@ def _build_sexpr(item: Any) -> BidNode:
 
 
 def parse_sexpr(text: str) -> BidNode:
-    """Parse one bid tree written in the s-expression syntax."""
+    """Parse one bid tree written in the s-expression syntax.
+
+    Examples
+    --------
+    >>> tree = parse_sexpr("(xor (pool a/cpu 10) (pool b/cpu 10))")
+    >>> type(tree).__name__, tree.leaf_count()
+    ('XorNode', 2)
+    >>> tree.to_sexpr()
+    '(xor (pool a/cpu 10.0) (pool b/cpu 10.0))'
+    """
     tokens = _tokenize(text)
     if not tokens:
         raise BidLanguageSyntaxError("empty bid text")
@@ -139,7 +148,15 @@ def parse_sexpr(text: str) -> BidNode:
 # JSON-style mapping syntax
 # ---------------------------------------------------------------------------
 def parse_json(data: Mapping[str, Any]) -> BidNode:
-    """Parse one bid tree expressed as nested mappings (already-decoded JSON)."""
+    """Parse one bid tree expressed as nested mappings (already-decoded JSON).
+
+    Examples
+    --------
+    >>> tree = parse_json({"xor": [{"pool": "a/cpu", "quantity": 10},
+    ...                            {"cluster": "b", "cpu": 10, "ram": 40}]})
+    >>> type(tree).__name__, tree.leaf_count()
+    ('XorNode', 2)
+    """
     if not isinstance(data, Mapping):
         raise BidLanguageSyntaxError(f"expected a mapping, got {type(data).__name__}")
     if "pool" in data:

@@ -53,6 +53,16 @@ def validate_tree(
     * no single leaf demands or offers more than ``max_capacity_multiple``
       times the pool's total capacity;
     * CHOOSE counts are within range (enforced by the AST itself).
+
+    Examples
+    --------
+    >>> from repro.bidlang.ast import pool
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> validate_tree(pool("a/cpu", 10), index)
+    []
+    >>> validate_tree(pool("mars/cpu", 10), index)
+    ["unknown pool 'mars/cpu'"]
     """
     limits = limits or ValidationLimits()
     problems: list[str] = []

@@ -203,6 +203,31 @@ class PoolIndex:
         return PoolIndex(new_pools)
 
 
+def demo_pool_index() -> PoolIndex:
+    """A tiny deterministic :class:`PoolIndex` for examples and doctests.
+
+    Two clusters (``a`` congested at 80%, ``b`` idle at 20%), each with a CPU
+    and a RAM pool at fixed capacities and unit costs.
+
+    Examples
+    --------
+    >>> index = demo_pool_index()
+    >>> index.names
+    ['a/cpu', 'a/ram', 'b/cpu', 'b/ram']
+    >>> index.capacities().tolist()
+    [100.0, 400.0, 100.0, 400.0]
+    """
+    pools: list[ResourcePool] = []
+    for cluster, util in (("a", 0.8), ("b", 0.2)):
+        pools.append(
+            ResourcePool(cluster=cluster, rtype=ResourceType.CPU, capacity=100.0, unit_cost=10.0, utilization=util)
+        )
+        pools.append(
+            ResourcePool(cluster=cluster, rtype=ResourceType.RAM, capacity=400.0, unit_cost=2.0, utilization=util)
+        )
+    return PoolIndex(pools)
+
+
 def pools_from_topology(
     topology: FleetTopology | Iterable[Cluster],
     *,

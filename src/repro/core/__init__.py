@@ -31,7 +31,14 @@ from repro.core.reserve import (
     PAPER_PHI_2,
     PAPER_PHI_3,
 )
+from repro.core.batch import (
+    BatchDemandEngine,
+    BatchResponse,
+    sum_demand_rows,
+)
 from repro.core.clock_auction import (
+    BATCH_AUTO_THRESHOLD,
+    ENGINES,
     AscendingClockAuction,
     AuctionConfig,
     AuctionOutcome,
@@ -79,7 +86,12 @@ __all__ = [
     "AuctionConfig",
     "AuctionOutcome",
     "AuctionRound",
+    "BATCH_AUTO_THRESHOLD",
+    "BatchDemandEngine",
+    "BatchResponse",
     "ConvergenceError",
+    "ENGINES",
+    "sum_demand_rows",
     "Settlement",
     "SettlementLine",
     "settle",

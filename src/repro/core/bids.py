@@ -48,6 +48,19 @@ class Bid:
     metadata:
         Free-form annotations (owning team, originating service request,
         auction round, etc.); never interpreted by the mechanism itself.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> bid = Bid.buy("web-team", index, [{"a/cpu": 10}, {"b/cpu": 10}], max_payment=50.0)
+    >>> bid.bidder_class.value
+    'pure_buyer'
+    >>> bid.acceptable_at(np.array([4.0, 0.0, 6.0, 0.0]))   # cheapest costs 40 <= 50
+    True
+    >>> bid.acceptable_at(np.array([6.0, 0.0, 7.0, 0.0]))   # cheapest costs 60 > 50
+    False
     """
 
     bidder: str
@@ -70,7 +83,15 @@ class Bid:
         max_payment: float,
         **metadata: object,
     ) -> "Bid":
-        """A buy bid: demand one of ``bundles``, pay at most ``max_payment``."""
+        """A buy bid: demand one of ``bundles``, pay at most ``max_payment``.
+
+        Examples
+        --------
+        >>> from repro.cluster.pools import demo_pool_index
+        >>> index = demo_pool_index()
+        >>> Bid.buy("t", index, [{"a/cpu": 5}], max_payment=100.0).limit
+        100.0
+        """
         if max_payment < 0:
             raise ValueError("max_payment must be non-negative for a buy bid")
         return Bid(bidder=bidder, bundles=BundleSet(index, bundles), limit=float(max_payment), metadata=dict(metadata))
@@ -88,6 +109,16 @@ class Bid:
         ``bundles`` should contain non-positive quantity vectors (offers); a
         mapping with positive values is negated for convenience so callers can
         write the amounts they are offering as positive numbers.
+
+        Examples
+        --------
+        >>> from repro.cluster.pools import demo_pool_index
+        >>> index = demo_pool_index()
+        >>> bid = Bid.sell("t", index, [{"a/cpu": 5}], min_revenue=40.0)
+        >>> bid.limit                      # minimum revenue as a negative limit
+        -40.0
+        >>> bid.bidder_class.value
+        'pure_seller'
         """
         if min_revenue < 0:
             raise ValueError("min_revenue must be non-negative for a sell bid")
@@ -132,7 +163,17 @@ class Bid:
 
 
 def classify_bidder(bid: Bid) -> BidderClass:
-    """Classify a bid by the sign structure of its bundle set (Section III-C-3)."""
+    """Classify a bid by the sign structure of its bundle set (Section III-C-3).
+
+    Examples
+    --------
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> from repro.core.bundles import BundleSet
+    >>> index = demo_pool_index()
+    >>> trader = Bid("t", BundleSet(index, [{"a/cpu": 1, "b/cpu": -1}]), limit=0.0)
+    >>> classify_bidder(trader).value
+    'trader'
+    """
     kind = bid.bundles.aggregate_kind()
     if kind is BundleKind.BUY:
         return BidderClass.PURE_BUYER
@@ -149,6 +190,16 @@ def validate_bid(bid: Bid, *, budget: float | None = None) -> list[str]:
     Checks the structural requirements of the model plus optional budget
     feasibility (a buy bid whose limit exceeds the bidder's budget can never
     be honored by the ledger).
+
+    Examples
+    --------
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> bid = Bid.buy("t", index, [{"a/cpu": 5}], max_payment=100.0)
+    >>> validate_bid(bid)
+    []
+    >>> validate_bid(bid, budget=50.0)
+    ['bid limit 100.00 exceeds available budget 50.00']
     """
     problems: list[str] = []
     cls = classify_bidder(bid)
@@ -169,7 +220,16 @@ def validate_bid(bid: Bid, *, budget: float | None = None) -> list[str]:
 
 
 def group_bids_by_class(bids: Sequence[Bid]) -> dict[BidderClass, list[Bid]]:
-    """Group bids by their :class:`BidderClass` (helper for analysis/reporting)."""
+    """Group bids by their :class:`BidderClass` (helper for analysis/reporting).
+
+    Examples
+    --------
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> bids = [Bid.buy("t", index, [{"a/cpu": 5}], max_payment=10.0)]
+    >>> [b.bidder for b in group_bids_by_class(bids)[BidderClass.PURE_BUYER]]
+    ['t']
+    """
     groups: dict[BidderClass, list[Bid]] = {cls: [] for cls in BidderClass}
     for bid in bids:
         groups[classify_bidder(bid)].append(bid)

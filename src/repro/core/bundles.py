@@ -28,7 +28,24 @@ class BundleKind(str, enum.Enum):
 
 
 def bundle_kind(quantities: np.ndarray, *, tol: float = 1e-12) -> BundleKind:
-    """Classify a raw quantity vector into buy / sell / trade / empty."""
+    """Classify a raw quantity vector into buy / sell / trade / empty.
+
+    Parameters
+    ----------
+    quantities:
+        Quantity vector; positive entries are demands, negative are offers.
+    tol:
+        Magnitudes at or below this count as zero.
+
+    Examples
+    --------
+    >>> bundle_kind([1.0, 0.0]).value
+    'buy'
+    >>> bundle_kind([1.0, -2.0]).value
+    'trade'
+    >>> bundle_kind([0.0, 0.0]).value
+    'empty'
+    """
     arr = np.asarray(quantities, dtype=float)
     has_pos = bool(np.any(arr > tol))
     has_neg = bool(np.any(arr < -tol))
@@ -47,6 +64,18 @@ class Bundle:
 
     ``quantities`` is stored as an immutable float array of length
     ``len(index)``.  Positive entries are demands, negative entries offers.
+
+    Examples
+    --------
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> b = Bundle.from_mapping(index, {"a/cpu": 10, "a/ram": 40})
+    >>> b.kind.value
+    'buy'
+    >>> b.cost(np.array([2.0, 0.5, 0.0, 0.0]))
+    40.0
+    >>> b.describe()
+    {'a/cpu': 10.0, 'a/ram': 40.0}
     """
 
     index: PoolIndex
@@ -141,6 +170,18 @@ class BundleSet:
     Internally stores a 2-D array of shape ``(k, R)`` so that evaluating the
     cost of every bundle at a price vector is a single matrix-vector product —
     the inner loop of the clock auction.
+
+    Examples
+    --------
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> qs = BundleSet(index, [{"a/cpu": 10}, {"b/cpu": 10}])
+    >>> len(qs)
+    2
+    >>> qs.cheapest(np.array([3.0, 0.0, 1.0, 0.0]))   # (index, cost)
+    (1, 10.0)
+    >>> qs.aggregate_kind().value
+    'buy'
     """
 
     def __init__(self, index: PoolIndex, bundles: Sequence[Bundle | np.ndarray | Mapping[str, float]]):

@@ -15,6 +15,13 @@ Key properties implemented/verified here:
   guard raise :class:`ConvergenceError` instead of looping forever;
 * the full round-by-round trace (prices, excess demand, active bidders) is
   recorded for analysis and for the Figure 1 / Algorithm 1 reproduction.
+
+Demand collection runs on one of two interchangeable engines selected by
+:attr:`AuctionConfig.engine`: the scalar per-proxy loop (the reference
+implementation) or the vectorized :class:`repro.core.batch.BatchDemandEngine`,
+which evaluates all bidders as dense matrix operations and scales to tens of
+thousands of bidders.  Both engines honor the same round-trace contract and
+produce identical :class:`AuctionRound` / :class:`AuctionOutcome` objects.
 """
 
 from __future__ import annotations
@@ -25,9 +32,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.cluster.pools import PoolIndex
+from repro.core.batch import BatchDemandEngine
 from repro.core.bids import Bid, BidderClass, classify_bidder
 from repro.core.increment import IncrementPolicy, default_increment
 from repro.core.proxy import BidderProxy
+
+#: Valid values of :attr:`AuctionConfig.engine`.
+ENGINES = ("auto", "scalar", "batch")
+
+#: With ``engine="auto"``, auctions with at least this many bidders use the
+#: vectorized batch engine; smaller ones stay on the scalar path, whose
+#: per-round fixed overhead is lower.
+BATCH_AUTO_THRESHOLD = 32
 
 
 class ConvergenceError(RuntimeError):
@@ -51,12 +67,29 @@ class AuctionConfig:
     record_bidder_demands:
         If ``True``, each round records every bidder's individual demand
         vector (memory-heavier; useful for debugging and small experiments).
+    engine:
+        Which demand-collection path to use per round: ``"scalar"`` walks the
+        per-bidder proxies, ``"batch"`` evaluates all bidders as dense matrix
+        operations (:class:`repro.core.batch.BatchDemandEngine`), and
+        ``"auto"`` (default) picks batch once the auction has at least
+        :data:`BATCH_AUTO_THRESHOLD` bidders.  Both engines produce identical
+        round traces.
+
+    Examples
+    --------
+    >>> AuctionConfig(max_rounds=100, engine="batch").engine
+    'batch'
+    >>> AuctionConfig(engine="turbo")
+    Traceback (most recent call last):
+        ...
+    ValueError: engine must be one of ('auto', 'scalar', 'batch'), got 'turbo'
     """
 
     max_rounds: int = 10_000
     tolerance: float = 1e-9
     stall_rounds: int = 50
     record_bidder_demands: bool = False
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -65,6 +98,8 @@ class AuctionConfig:
             raise ValueError("tolerance must be non-negative")
         if self.stall_rounds < 1:
             raise ValueError("stall_rounds must be >= 1")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
 
 
 @dataclass(frozen=True)
@@ -138,7 +173,25 @@ class AscendingClockAuction:
         Price-increment policy; defaults to
         :func:`repro.core.increment.default_increment` built from pool capacities.
     config:
-        Round limits and tolerances.
+        Round limits, tolerances, and the demand-collection engine choice.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> from repro.core.bids import Bid
+    >>> index = demo_pool_index()
+    >>> bids = [Bid.buy("team", index, [{"a/cpu": 10}], max_payment=1e6)]
+    >>> auction = AscendingClockAuction(
+    ...     index, bids,
+    ...     reserve_prices=np.ones(len(index)),
+    ...     supply=np.full(len(index), 50.0),
+    ... )
+    >>> auction.engine            # "auto" resolves by bidder count
+    'scalar'
+    >>> outcome = auction.run()
+    >>> outcome.converged, outcome.round_count
+    (True, 1)
     """
 
     def __init__(
@@ -176,6 +229,12 @@ class AscendingClockAuction:
         self.increment = increment or default_increment(index.capacities())
         self.config = config or AuctionConfig()
         self.proxies = [BidderProxy(bid) for bid in self.bids]
+        if self.config.engine == "auto":
+            self.engine = "batch" if len(self.bids) >= BATCH_AUTO_THRESHOLD else "scalar"
+        else:
+            self.engine = self.config.engine
+        #: Lazily built batch engine (only when the batch path is active).
+        self._batch: BatchDemandEngine | None = None
 
     # -- analysis helpers -----------------------------------------------------
     def bidder_classes(self) -> dict[str, BidderClass]:
@@ -188,7 +247,17 @@ class AscendingClockAuction:
 
     # -- core loop --------------------------------------------------------------
     def _collect(self, prices: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray], int]:
-        """One 'collect bids' step: individual demands, their sum, active count."""
+        """One 'collect bids' step: individual demands, their sum, active count.
+
+        Dispatches to the scalar proxy loop or the vectorized batch engine
+        according to the resolved :attr:`engine`; both return the same values.
+        """
+        if self.engine == "batch":
+            return self._collect_batch(prices)
+        return self._collect_scalar(prices)
+
+    def _collect_scalar(self, prices: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray], int]:
+        """Reference path: evaluate each :class:`BidderProxy` in turn."""
         total = np.zeros(len(self.index), dtype=float)
         demands: dict[str, np.ndarray] = {}
         active = 0
@@ -199,6 +268,13 @@ class AscendingClockAuction:
             if decision.active:
                 active += 1
         return total, demands, active
+
+    def _collect_batch(self, prices: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray], int]:
+        """Vectorized path: evaluate every bidder in one shot."""
+        if self._batch is None:
+            self._batch = BatchDemandEngine(self.index, self.bids)
+        response = self._batch.respond_all(prices)
+        return response.total, response.demand_map(), response.active_count
 
     def _cleared(self, excess: np.ndarray) -> bool:
         """Clearing test: every pool's excess demand is <= tolerance (scaled)."""

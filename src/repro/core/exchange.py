@@ -101,6 +101,18 @@ class CombinatorialExchange:
     strict_validation:
         If ``True`` (default), structurally invalid bids raise
         :class:`BidValidationError`; if ``False`` they are silently dropped.
+
+    Examples
+    --------
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> from repro.core.bids import Bid
+    >>> index = demo_pool_index()
+    >>> exchange = CombinatorialExchange(index)
+    >>> result = exchange.run([Bid.buy("t", index, [{"b/cpu": 10}], max_payment=500.0)])
+    >>> result.outcome.converged and result.constraints.satisfied
+    True
+    >>> [line.bidder for line in result.settlement.winners]
+    ['t']
     """
 
     def __init__(

@@ -50,6 +50,13 @@ class AdditiveIncrement:
     Simple but fragile: with heterogeneous pool sizes the excess demand for a
     large disk pool (thousands of GiB) dwarfs the excess demand for CPU, so a
     single ``alpha`` either crawls on CPU or explodes on disk.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> policy = AdditiveIncrement(alpha=0.1)
+    >>> policy.increment(np.array([50.0, -20.0]), np.array([1.0, 1.0])).tolist()
+    [5.0, 0.0]
     """
 
     alpha: float = 0.01
@@ -73,6 +80,14 @@ class CappedIncrement:
     ``delta`` of its *current* price (the "no price changes by more than some
     fixed fraction, say delta" reading); set ``absolute_cap`` instead to use
     the literal ``delta * e`` form with a constant cap.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> policy = CappedIncrement(alpha=0.1, cap_fraction=0.10)
+    >>> # raw step would be 5.0, but the cap is 10% of the current price (1.0)
+    >>> policy.increment(np.array([50.0]), np.array([1.0])).tolist()
+    [0.1]
     """
 
     alpha: float = 0.01
@@ -114,6 +129,14 @@ class NormalizedIncrement:
     pool whose unit cost is 200x smaller (disk vs CPU) also rises 200x more
     slowly in absolute terms, keeping final prices "in proportion from their
     expected relative sizes".
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> policy = NormalizedIncrement(base_prices=np.array([10.0, 0.1]), alpha=0.01)
+    >>> # same excess demand, but the cheap pool's step is scaled down ~100x
+    >>> policy.increment(np.array([5.0, 5.0]), np.array([100.0, 1.0])).tolist()
+    [0.09900990099009901, 0.0009900990099009901]
     """
 
     base_prices: np.ndarray
@@ -153,6 +176,14 @@ class ProportionalIncrement:
     opposite failure the paper notes ("too slowly in the later ones"): once a
     pool is over-demanded its price rises by at least ``delta_min`` per round,
     so a trickle of residual excess demand cannot stall the auction.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> policy = ProportionalIncrement(scale=np.array([1000.0]), alpha=2.0)
+    >>> # 5% over-demand -> 10% relative step, capped at cap_fraction (10%)
+    >>> policy.increment(np.array([50.0]), np.array([20.0])).tolist()
+    [2.0]
     """
 
     scale: np.ndarray
@@ -194,6 +225,13 @@ def default_increment(capacities: np.ndarray, *, cap_fraction: float = 0.10, alp
     Uses pool capacities as the per-pool demand scale, so "excess demand equal
     to 1% of the pool" raises its price by ``alpha * 1%`` (capped at
     ``cap_fraction``) regardless of the pool's absolute size.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> policy = default_increment(np.array([100.0, 400.0]))
+    >>> policy.describe()
+    'proportional(alpha=2.0, delta=0.1)'
     """
     capacities = np.asarray(capacities, dtype=float)
     safe = np.where(capacities > 0, capacities, 1.0)

@@ -19,7 +19,20 @@ from repro.cluster.resources import ResourceType
 
 @dataclass(frozen=True)
 class PriceTable:
-    """Uniform unit prices for every pool, with convenient lookups."""
+    """Uniform unit prices for every pool, with convenient lookups.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> table = PriceTable(demo_pool_index(), np.array([4.0, 1.0, 2.0, 0.5]))
+    >>> table.price("a/cpu")
+    4.0
+    >>> table.bundle_cost({"a/cpu": 10, "a/ram": 20})
+    60.0
+    >>> table.ratios_to(np.array([2.0, 1.0, 2.0, 1.0]))["a/cpu"]
+    2.0
+    """
 
     index: PoolIndex
     prices: np.ndarray
@@ -82,7 +95,13 @@ def price_ratios(
     market_prices: Mapping[str, float],
     fixed_prices: Mapping[str, float],
 ) -> dict[str, float]:
-    """Market price / former fixed price per pool (the Figure 6 quantity)."""
+    """Market price / former fixed price per pool (the Figure 6 quantity).
+
+    Examples
+    --------
+    >>> price_ratios({"a/cpu": 30.0}, {"a/cpu": 10.0})
+    {'a/cpu': 3.0}
+    """
     ratios: dict[str, float] = {}
     for name, market in market_prices.items():
         base = fixed_prices.get(name)

@@ -22,6 +22,11 @@ import numpy as np
 from repro.core.bids import Bid
 from repro.core.bundles import Bundle
 
+#: Numerical slack in the acceptability test ``q.p <= pi_u + DROPOUT_SLACK``.
+#: The batch demand engine (:mod:`repro.core.batch`) applies the identical
+#: slack so both engines make the same drop-out decisions.
+DROPOUT_SLACK = 1e-9
+
 
 @dataclass(frozen=True)
 class ProxyDecision:
@@ -46,6 +51,19 @@ class BidderProxy:
     The proxy is stateless between calls — it simply re-evaluates the bid at
     whatever prices the auctioneer announces — but it records the last
     decision for inspection and tracing.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> from repro.core.bids import Bid
+    >>> index = demo_pool_index()
+    >>> bid = Bid.buy("t", index, [{"a/cpu": 10}], max_payment=30.0)
+    >>> proxy = BidderProxy(bid)
+    >>> proxy.respond(np.array([2.0, 0.0, 0.0, 0.0])).active   # costs 20 <= 30
+    True
+    >>> proxy.respond(np.array([5.0, 0.0, 0.0, 0.0])).active   # costs 50 > 30
+    False
     """
 
     def __init__(self, bid: Bid):
@@ -65,7 +83,7 @@ class BidderProxy:
         """Evaluate ``G_u(p)`` at the given prices."""
         prices = np.asarray(prices, dtype=float)
         bundle_i, cost = self.bid.bundles.cheapest(prices)
-        if cost <= self.bid.limit + 1e-9:
+        if cost <= self.bid.limit + DROPOUT_SLACK:
             decision = ProxyDecision(
                 bidder=self.bid.bidder,
                 quantities=self.bid.bundles.matrix[bundle_i].copy(),
@@ -108,7 +126,22 @@ class BidderProxy:
 
 
 def aggregate_demand(proxies: list[BidderProxy], prices: np.ndarray) -> np.ndarray:
-    """Excess demand ``z(p) = sum_u G_u(p)`` across all proxies."""
+    """Excess demand ``z(p) = sum_u G_u(p)`` across all proxies.
+
+    The vectorized equivalent over many bidders is
+    :meth:`repro.core.batch.BatchDemandEngine.aggregate_demand`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> from repro.core.bids import Bid
+    >>> index = demo_pool_index()
+    >>> proxies = [BidderProxy(Bid.buy(f"t{i}", index, [{"a/cpu": 10}], max_payment=100.0))
+    ...            for i in range(3)]
+    >>> aggregate_demand(proxies, np.ones(len(index))).tolist()
+    [30.0, 0.0, 0.0, 0.0]
+    """
     prices = np.asarray(prices, dtype=float)
     total = np.zeros_like(prices)
     for proxy in proxies:

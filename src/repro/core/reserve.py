@@ -57,6 +57,14 @@ class ExponentialWeight:
     With ``steepness=2, center=0.5`` this is the paper's ``phi_1``; with
     ``steepness=1`` it is ``phi_2``.  Property 5 holds with
     ``k = exp(steepness)``.
+
+    Examples
+    --------
+    >>> phi = ExponentialWeight(steepness=2.0, center=0.5)
+    >>> phi(0.5)
+    1.0
+    >>> round(phi(0.9), 4)    # congested pools cost a premium
+    2.2255
     """
 
     steepness: float = 2.0
@@ -80,6 +88,14 @@ class ReciprocalWeight:
 
     The ``offset`` defaults to ``ceiling - center`` so that ``phi(center) = 1``
     (with the paper's parameters, ``phi(0.5) = 1``).
+
+    Examples
+    --------
+    >>> phi = ReciprocalWeight(ceiling=1.5, center=0.5)
+    >>> phi(0.5)
+    1.0
+    >>> phi(1.0)
+    2.0
     """
 
     ceiling: float = 1.5
@@ -110,6 +126,11 @@ class LinearWeight:
 
     Does *not* satisfy property 4 (no extra steepness at high utilization);
     included as a baseline for the reserve-pricing ablation.
+
+    Examples
+    --------
+    >>> LinearWeight(low=0.5, high=1.5)(0.75)
+    1.25
     """
 
     low: float = 0.5
@@ -135,6 +156,11 @@ class FlatWeight:
 
     With ``value=1`` the reserve price equals the plain unit cost — exactly
     the "former fixed price" baseline the paper compares against in Figure 6.
+
+    Examples
+    --------
+    >>> FlatWeight()(0.99)
+    1.0
     """
 
     value: float = 1.0
@@ -170,6 +196,13 @@ def check_weighting_properties(
     as "the weight increase from 80% to 99% utilization exceeds the increase
     from 15% to 40%"; property 5 as "phi(1) is a finite multiple of phi(0)"
     (any finite k qualifies, per the paper).
+
+    Examples
+    --------
+    >>> all(check_weighting_properties(PAPER_PHI_1).values())
+    True
+    >>> check_weighting_properties(LinearWeight())["steeper_when_congested"]
+    False
     """
     xs = np.linspace(0.0, 1.0, samples)
     values = np.array([phi(float(x)) for x in xs])
@@ -204,6 +237,13 @@ class ReservePricer:
         utilization percentile* (paper Section IV-A: "the inputs of the
         weighting functions are utilization percentiles"); if ``False``
         (default) feed the raw utilization fraction.
+
+    Examples
+    --------
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> pricer = ReservePricer(weighting=FlatWeight(value=2.0))
+    >>> pricer.reserve_prices(demo_pool_index()).tolist()   # 2x each unit cost
+    [20.0, 4.0, 20.0, 4.0]
     """
 
     weighting: WeightingFunction | Mapping[ResourceType, WeightingFunction]

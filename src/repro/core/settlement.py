@@ -135,6 +135,22 @@ def settle(
     bundle and pays its cost; otherwise the bidder loses.  This mirrors how
     the final simulation run of the trading platform produced "the final,
     binding market prices and engineering team allocations".
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> from repro.core.bids import Bid
+    >>> index = demo_pool_index()
+    >>> bids = [Bid.buy("rich", index, [{"a/cpu": 10}], max_payment=100.0),
+    ...         Bid.buy("poor", index, [{"a/cpu": 10}], max_payment=10.0)]
+    >>> result = settle(index, bids, np.array([5.0, 0.0, 0.0, 0.0]))
+    >>> [line.bidder for line in result.winners]
+    ['rich']
+    >>> result.line_for("rich").payment
+    50.0
+    >>> result.settled_fraction()
+    0.5
     """
     prices = np.asarray(prices, dtype=float)
     if prices.shape != (len(index),):
@@ -179,6 +195,18 @@ def verify_system_constraints(
     4. ``x_u . p = min_q q . p`` for winners (cheapest-bundle rule);
     5. ``pi_u < min_q q . p`` for losers;
     6. ``p >= 0``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> from repro.core.bids import Bid
+    >>> index = demo_pool_index()
+    >>> bids = [Bid.buy("t", index, [{"a/cpu": 10}], max_payment=100.0)]
+    >>> settlement = settle(index, bids, np.array([5.0, 0.0, 0.0, 0.0]),
+    ...                     supply=np.full(len(index), 50.0))
+    >>> verify_system_constraints(settlement, bids).satisfied
+    True
     """
     violations: list[str] = []
     prices = settlement.prices

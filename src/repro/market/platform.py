@@ -35,6 +35,7 @@ from repro.bidlang.validate import require_valid
 from repro.cluster.pools import PoolIndex
 from repro.core.bids import Bid
 from repro.core.bundles import BundleSet
+from repro.core.clock_auction import AuctionConfig
 from repro.core.exchange import CombinatorialExchange, ExchangeResult
 from repro.core.increment import IncrementPolicy
 from repro.core.prices import PriceTable
@@ -105,6 +106,7 @@ class TradingPlatform:
         quotas: QuotaRegistry | None = None,
         weighting: WeightingFunction | ReservePricer | None = None,
         increment: IncrementPolicy | None = None,
+        auction_config: AuctionConfig | None = None,
         operator_supply_fraction: float = 1.0,
         fixed_prices: Mapping[str, float] | None = None,
     ):
@@ -114,6 +116,7 @@ class TradingPlatform:
         self.quotas = quotas or QuotaRegistry(index=index)
         self._weighting = weighting
         self._increment = increment
+        self._auction_config = auction_config
         self._operator_supply_fraction = operator_supply_fraction
         #: The operator's pre-market fixed price per pool (defaults to unit costs).
         self.fixed_prices: dict[str, float] = dict(
@@ -134,6 +137,7 @@ class TradingPlatform:
             self.index,
             weighting=self._weighting,
             increment=self._increment,
+            auction_config=self._auction_config,
             operator_supply_fraction=self._operator_supply_fraction,
         )
 

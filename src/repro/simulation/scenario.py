@@ -15,6 +15,7 @@ import numpy as np
 from repro.agents.base import TeamAgent
 from repro.agents.population import PopulationSpec, build_population
 from repro.cluster.fleet_gen import FleetSpec, SyntheticFleet, generate_fleet
+from repro.core.clock_auction import AuctionConfig
 from repro.core.increment import default_increment
 from repro.core.reserve import PAPER_PHI_1, ReservePricer, WeightingFunction
 from repro.market.platform import TradingPlatform
@@ -32,6 +33,10 @@ class ScenarioConfig:
     operator_supply_fraction: float = 0.9
     increment_cap_fraction: float = 0.10
     increment_alpha: float = 2.0
+    #: Demand-collection engine for every auction in the scenario:
+    #: "auto" (default), "scalar", or "batch" — see
+    #: :attr:`repro.core.clock_auction.AuctionConfig.engine`.
+    auction_engine: str = "auto"
     seed: int = 0
 
 
@@ -71,6 +76,7 @@ def build_scenario(config: ScenarioConfig | None = None) -> Scenario:
             cap_fraction=config.increment_cap_fraction,
             alpha=config.increment_alpha,
         ),
+        auction_config=AuctionConfig(engine=config.auction_engine),
         operator_supply_fraction=config.operator_supply_fraction,
         fixed_prices=fleet.fixed_prices,
     )
