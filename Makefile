@@ -1,15 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test doctest bench bench-smoke check
+.PHONY: test doctest bench bench-smoke smoke check
 
 ## tier-1: full unit/property/integration suite plus quick benchmarks
 test:
 	$(PYTHON) -m pytest -x -q
 
-## run every docstring example in repro.core and repro.bidlang
+## run every docstring example in the documented packages
 doctest:
-	$(PYTHON) -m pytest --doctest-modules src/repro/core src/repro/bidlang -q
+	$(PYTHON) -m pytest --doctest-modules src/repro/core src/repro/bidlang src/repro/cluster src/repro/simulation src/repro/cli.py -q
 
 ## paper-scale benchmarks (regenerates the paper's tables/figures)
 bench:
@@ -19,5 +19,10 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SCALE=test $(PYTHON) -m pytest benchmarks -q
 
+## scenario CLI + quickstart example smoke runs (docs/examples can't rot)
+smoke:
+	$(PYTHON) -m repro run paper-reference --workers 1
+	$(PYTHON) examples/quickstart.py
+
 ## everything CI runs
-check: test doctest
+check: test doctest smoke

@@ -1,3 +1,30 @@
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+# Single source of truth for the version: repro.__version__.
+VERSION = re.search(
+    r'^__version__ = "(.+?)"',
+    Path("src/repro/__init__.py").read_text(),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro",
+    version=VERSION,
+    description=(
+        "Reproduction of 'Using a Market Economy to Provision Compute "
+        "Resources Across Planet-wide Clusters' (IPDPS 2009)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            # The same CLI as `python -m repro`: scenario catalog + parallel runner.
+            "repro=repro.cli:main",
+        ]
+    },
+)

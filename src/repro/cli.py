@@ -1,0 +1,224 @@
+"""``python -m repro`` — run catalog scenarios from the command line.
+
+Three subcommands:
+
+``list``
+    Show every scenario in the catalog (name, scale, tags, description).
+``run``
+    Run one scenario end to end (optionally several replicate seeds in
+    parallel) and print its trajectory report.
+``sweep``
+    Run a batch of scenarios across a process pool and print the aggregate
+    cross-scenario report.
+
+``--json`` switches stdout from human-readable tables to the runner's
+canonical JSON report, which is byte-identical for any ``--workers`` value;
+progress and timing always go to stderr so they never pollute the artifact.
+
+>>> from repro.cli import build_parser
+>>> build_parser().parse_args(["run", "smoke", "--workers", "2"]).workers
+2
+>>> build_parser().parse_args(["sweep", "--all"]).all
+True
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.simulation.catalog import (
+    default_sweep_names,
+    get_scenario,
+    scenario_names,
+)
+from repro.simulation.runner import ParallelRunner, ScenarioRunResult, SweepReport
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run market-economy scenarios from the catalog.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list every catalog scenario")
+    list_cmd.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    list_cmd.add_argument("--tag", help="only scenarios carrying this tag")
+
+    run_cmd = sub.add_parser("run", help="run one scenario end to end")
+    run_cmd.add_argument("scenario", help="catalog scenario name (see `list`)")
+    run_cmd.add_argument("--replicates", type=int, default=1, metavar="N",
+                         help="run N replicate seeds (seed, seed+1, ...) in parallel")
+    _add_run_options(run_cmd)
+
+    sweep_cmd = sub.add_parser("sweep", help="run a batch of scenarios in parallel")
+    sweep_cmd.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                           help="scenarios to run (default: all non-stress scenarios)")
+    sweep_cmd.add_argument("--all", action="store_true",
+                           help="include stress-tagged scenarios too")
+    _add_run_options(sweep_cmd)
+    return parser
+
+
+def _add_run_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="process-pool size (default: one per core; 1 = serial)")
+    cmd.add_argument("--auctions", type=int, default=None, metavar="N",
+                     help="override the scenario's auction count")
+    cmd.add_argument("--seed", type=int, default=None, help="override the scenario's seed")
+    cmd.add_argument("--engine", choices=("auto", "scalar", "batch"), default=None,
+                     help="override the demand-collection engine")
+    cmd.add_argument("--json", action="store_true",
+                     help="emit the canonical JSON report on stdout")
+    cmd.add_argument("--out", type=Path, default=None, metavar="FILE",
+                     help="also write the canonical JSON report to FILE")
+
+
+class _UsageError(Exception):
+    """Bad command-line input (unknown scenario, conflicting flags): exit 2."""
+
+
+def _get_spec(name: str):
+    """Scenario lookup with the unknown-name KeyError narrowed to usage errors,
+    so KeyErrors from inside a running economy surface as real tracebacks."""
+    try:
+        return get_scenario(name)
+    except KeyError as error:
+        raise _UsageError(error.args[0]) from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_sweep(args)
+    except _UsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ValueError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+# -- list ---------------------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    summaries = [_get_spec(name).summary() for name in scenario_names()]
+    if args.tag:
+        summaries = [s for s in summaries if args.tag in s["tags"]]
+    if args.json:
+        import json
+
+        print(json.dumps(summaries, indent=2, sort_keys=True))
+        return 0
+    header = f"{'scenario':<22} {'clusters':>8} {'teams':>6} {'auctions':>8} {'engine':>7}  description"
+    print(header)
+    print("-" * len(header))
+    for s in summaries:
+        tags = f"  [{', '.join(s['tags'])}]" if s["tags"] else ""
+        print(
+            f"{s['name']:<22} {s['clusters']:>8} {s['teams']:>6} {s['auctions']:>8} "
+            f"{s['engine']:>7}  {s['description']}{tags}"
+        )
+    return 0
+
+
+# -- run / sweep --------------------------------------------------------------------------
+
+
+def _overrides(args: argparse.Namespace) -> dict[str, object]:
+    overrides = {}
+    if args.auctions is not None:
+        overrides["auctions"] = args.auctions
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    return overrides
+
+
+def _progress(result: ScenarioRunResult) -> None:
+    print(
+        f"  done: {result.scenario} (seed {result.seed}) — "
+        f"{result.auctions} auctions, {result.trade_count} trades, "
+        f"median premium {result.median_premium[0]:.3f} -> {result.median_premium[-1]:.3f}",
+        file=sys.stderr,
+    )
+
+
+def _emit(report: SweepReport, args: argparse.Namespace, elapsed: float, workers: int | None) -> None:
+    payload = report.to_json()
+    if args.out is not None:
+        args.out.write_text(payload)
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.json:
+        sys.stdout.write(payload)
+    else:
+        _print_text_report(report)
+    label = "serial" if (workers or 0) == 1 else f"workers={workers or 'auto'}"
+    print(f"finished in {elapsed:.2f}s ({label})", file=sys.stderr)
+
+
+def _print_text_report(report: SweepReport) -> None:
+    header = (
+        f"{'scenario':<22} {'teams':>6} {'pools':>6} {'auctions':>8} {'rounds':>7} "
+        f"{'trades':>7} {'premium first->last':>20} {'util spread':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in report.results:
+        rounds = sum(r.clearing_rounds)
+        premium = f"{r.median_premium[0]:.3f} -> {r.median_premium[-1]:.3f}"
+        spread = f"{r.utilization_spread_change:+.3f}"
+        print(
+            f"{r.scenario:<22} {r.teams:>6} {r.pools:>6} {r.auctions:>8} {rounds:>7} "
+            f"{r.trade_count:>7} {premium:>20} {spread:>12}"
+        )
+    aggregate = report.aggregate()
+    print()
+    print(
+        f"{aggregate['scenario_count']} scenario(s), {aggregate['total_auctions']} auctions, "
+        f"{aggregate['total_trades']} settled trades, "
+        f"mean {aggregate['mean_clearing_rounds']:.1f} clock rounds per auction"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.replicates < 1:
+        raise _UsageError("--replicates must be >= 1")
+    spec = _get_spec(args.scenario).with_overrides(**_overrides(args))
+    runner = ParallelRunner(workers=args.workers)
+    start = time.perf_counter()
+    # replicates=1 runs the spec under its own seed (seed + 0).
+    report = runner.run_replicates(spec, args.replicates, on_result=_progress)
+    _emit(report, args, time.perf_counter() - start, args.workers)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.scenarios and args.all:
+        raise _UsageError("pass either explicit scenario names or --all, not both")
+    names = args.scenarios or (scenario_names() if args.all else default_sweep_names())
+    overrides = _overrides(args)
+    specs = [_get_spec(name).with_overrides(**overrides) for name in names]
+    print(f"sweeping {len(specs)} scenario(s): {', '.join(s.name for s in specs)}", file=sys.stderr)
+    runner = ParallelRunner(workers=args.workers)
+    start = time.perf_counter()
+    report = runner.run_specs(specs, on_result=_progress)
+    _emit(report, args, time.perf_counter() - start, args.workers)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

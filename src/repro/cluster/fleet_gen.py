@@ -180,6 +180,52 @@ def generate_fleet(
     )
 
 
+def congested_fleet_spec(
+    cluster_count: int = 28,
+    *,
+    machines_range: tuple[int, int] = (50, 300),
+    utilization_range: tuple[float, float] = (0.70, 0.97),
+) -> FleetSpec:
+    """A fleet where nearly every cluster is congested.
+
+    Used by the ``congested-fleet`` catalog scenario: with no idle clusters to
+    migrate into, congestion-weighted reserve prices climb everywhere and the
+    market's job becomes rationing rather than migration.
+
+    >>> spec = congested_fleet_spec()
+    >>> spec.utilization_range[0] >= 0.7
+    True
+    """
+    return FleetSpec(
+        cluster_count=cluster_count,
+        machines_range=machines_range,
+        utilization_range=utilization_range,
+    )
+
+
+def idle_fleet_spec(
+    cluster_count: int = 28,
+    *,
+    machines_range: tuple[int, int] = (50, 300),
+    utilization_range: tuple[float, float] = (0.05, 0.55),
+) -> FleetSpec:
+    """A fleet with abundant idle capacity.
+
+    Used by the ``idle-fleet-migration`` catalog scenario: discounted reserve
+    prices on idle clusters should pull relocating teams out of the few busy
+    ones.
+
+    >>> spec = idle_fleet_spec()
+    >>> spec.utilization_range[1] <= 0.55
+    True
+    """
+    return FleetSpec(
+        cluster_count=cluster_count,
+        machines_range=machines_range,
+        utilization_range=utilization_range,
+    )
+
+
 def small_fleet(
     cluster_count: int = 4,
     *,

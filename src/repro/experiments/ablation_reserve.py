@@ -51,7 +51,9 @@ class ReserveAblationResult:
 
 def _run_once(config: ExperimentConfig, weighting: WeightingFunction, label: str) -> ReserveAblationRow:
     scenario = build_scenario(replace(config.scenario_config(), weighting=weighting))
-    sim = MarketEconomySimulation(scenario)
+    sim = MarketEconomySimulation(
+        scenario, drift_scale=config.drift_scale, preliminary_runs=config.preliminary_runs
+    )
     period = sim.run_one_auction()
     migration = migration_summary(period.trades)
     ratios = period.price_ratios

@@ -67,7 +67,9 @@ def run_baseline_comparison(
     ]
 
     initial_holdings = scenario.platform.quotas.snapshot()
-    sim = MarketEconomySimulation(scenario)
+    sim = MarketEconomySimulation(
+        scenario, drift_scale=config.drift_scale, preliminary_runs=config.preliminary_runs
+    )
     history = sim.run(market_auctions if market_auctions is not None else config.auctions)
     final_holdings = scenario.platform.quotas.snapshot()
     market_outcome = market_outcome_from_quota_delta(index, requests, initial_holdings, final_holdings)

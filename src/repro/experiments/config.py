@@ -1,4 +1,12 @@
-"""Shared experiment configuration: paper-scale and test-scale presets."""
+"""Shared experiment configuration: paper-scale and test-scale presets.
+
+Since the scenario catalog became the source of truth for named economies,
+the experiment presets are *derived from it*: :data:`PAPER_SCALE` is the
+catalog's ``paper-reference`` scenario and :data:`TEST_SCALE` is ``smoke``.
+:class:`ExperimentConfig` remains the thin scale-knob view the experiment
+drivers and benchmarks consume, and can still be constructed directly for
+ad-hoc scales.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.agents.population import PopulationSpec
 from repro.cluster.fleet_gen import FleetSpec
+from repro.simulation.catalog import ScenarioSpec, get_scenario
 from repro.simulation.scenario import ScenarioConfig
 
 
@@ -13,9 +22,13 @@ from repro.simulation.scenario import ScenarioConfig
 class ExperimentConfig:
     """Scale knobs shared by the experiment drivers.
 
-    ``paper_scale()`` matches the paper's experimental market (~34 clusters,
-    ~100 bidders, 6 auctions); ``test_scale()`` is a scaled-down variant used
-    by the unit tests so they stay fast.
+    ``PAPER_SCALE`` matches the paper's experimental market (~34 clusters,
+    ~100 bidders, 6 auctions); ``TEST_SCALE`` is a scaled-down variant used
+    by the unit tests so they stay fast.  When built with
+    :meth:`from_scenario`, ``base`` carries the catalog scenario's full
+    :class:`~repro.simulation.scenario.ScenarioConfig` so knobs beyond the
+    scale fields (utilization ranges, strategy mixes, the demand engine)
+    survive the round trip.
     """
 
     cluster_count: int = 34
@@ -24,27 +37,66 @@ class ExperimentConfig:
     seed: int = 2009  # the paper's publication year, for flavour and reproducibility
     machines_range: tuple[int, int] = (50, 400)
     budget_per_team: float = 50_000.0
+    #: Run knobs for the multi-auction drivers (mirrors ``ScenarioSpec``).
+    drift_scale: float = 0.015
+    preliminary_runs: int = 0
+    #: The full scenario config this preset was derived from, if any.
+    #: Excluded from hashing: it holds mappings (FleetSpec.unit_costs), and
+    #: configs must stay usable as dict keys / set members.
+    base: ScenarioConfig | None = field(default=None, hash=False)
+
+    @classmethod
+    def from_scenario(cls, scenario: str | ScenarioSpec) -> "ExperimentConfig":
+        """Derive the scale and run knobs from a catalog scenario (by name or spec)."""
+        spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        return cls(
+            cluster_count=spec.config.fleet.cluster_count,
+            team_count=spec.config.population.team_count,
+            auctions=spec.auctions,
+            seed=spec.config.seed,
+            machines_range=spec.config.fleet.machines_range,
+            budget_per_team=spec.config.population.budget_per_team,
+            drift_scale=spec.drift_scale,
+            preliminary_runs=spec.preliminary_runs,
+            base=spec.config,
+        )
 
     def scenario_config(self, **overrides) -> ScenarioConfig:
         """Build a :class:`ScenarioConfig` from these knobs (overridable per experiment)."""
-        base = ScenarioConfig(
-            fleet=FleetSpec(cluster_count=self.cluster_count, machines_range=self.machines_range),
-            population=PopulationSpec(
-                team_count=self.team_count, budget_per_team=self.budget_per_team
-            ),
-            seed=self.seed,
-        )
+        if self.base is None:
+            base = ScenarioConfig(
+                fleet=FleetSpec(
+                    cluster_count=self.cluster_count, machines_range=self.machines_range
+                ),
+                population=PopulationSpec(
+                    team_count=self.team_count, budget_per_team=self.budget_per_team
+                ),
+                seed=self.seed,
+            )
+        else:
+            # Re-apply the scale fields onto the catalog-derived base so
+            # ``dataclasses.replace(PAPER_SCALE, team_count=...)`` takes
+            # effect while base-only knobs (utilization ranges, strategy
+            # mixes, the engine) survive.
+            base = replace(
+                self.base,
+                fleet=replace(
+                    self.base.fleet,
+                    cluster_count=self.cluster_count,
+                    machines_range=self.machines_range,
+                ),
+                population=replace(
+                    self.base.population,
+                    team_count=self.team_count,
+                    budget_per_team=self.budget_per_team,
+                ),
+                seed=self.seed,
+            )
         return replace(base, **overrides) if overrides else base
 
 
-#: The scale of the paper's experimental market.
-PAPER_SCALE = ExperimentConfig()
+#: The scale of the paper's experimental market (catalog: ``paper-reference``).
+PAPER_SCALE = ExperimentConfig.from_scenario("paper-reference")
 
-#: A fast scale for unit tests and smoke runs.
-TEST_SCALE = ExperimentConfig(
-    cluster_count=8,
-    team_count=24,
-    auctions=3,
-    machines_range=(10, 40),
-    budget_per_team=200_000.0,
-)
+#: A fast scale for unit tests and smoke runs (catalog: ``smoke``).
+TEST_SCALE = ExperimentConfig.from_scenario("smoke")

@@ -44,7 +44,9 @@ class Figure6Result:
 def run_figure6(config: ExperimentConfig = PAPER_SCALE) -> Figure6Result:
     """Run one full auction over a synthetic fleet and compute the price ratios."""
     scenario = build_scenario(config.scenario_config())
-    sim = MarketEconomySimulation(scenario)
+    sim = MarketEconomySimulation(
+        scenario, drift_scale=config.drift_scale, preliminary_runs=config.preliminary_runs
+    )
     period = sim.run_one_auction()
     rows = sort_rows_for_figure6(
         price_ratio_table(
@@ -55,7 +57,7 @@ def run_figure6(config: ExperimentConfig = PAPER_SCALE) -> Figure6Result:
         rows=tuple(rows),
         correlation_with_utilization=ratio_utilization_correlation(rows),
         settled_fraction=period.settled_fraction,
-        rounds=period.record.result.rounds,
+        rounds=period.record.rounds,
     )
 
 

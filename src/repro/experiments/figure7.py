@@ -48,7 +48,9 @@ class Figure7Result:
 def run_figure7(config: ExperimentConfig = PAPER_SCALE, *, auctions: int = 1) -> Figure7Result:
     """Run ``auctions`` auction periods and pool the settled trades."""
     scenario = build_scenario(config.scenario_config())
-    sim = MarketEconomySimulation(scenario)
+    sim = MarketEconomySimulation(
+        scenario, drift_scale=config.drift_scale, preliminary_runs=config.preliminary_runs
+    )
     history = sim.run(auctions)
     trades = history.all_trades()
     return Figure7Result(

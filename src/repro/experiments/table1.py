@@ -33,7 +33,9 @@ class Table1Result:
 def run_table1(config: ExperimentConfig = PAPER_SCALE, *, auctions: int | None = None) -> Table1Result:
     """Run a multi-auction economy and compute the premium statistics per auction."""
     scenario = build_scenario(config.scenario_config())
-    sim = MarketEconomySimulation(scenario)
+    sim = MarketEconomySimulation(
+        scenario, drift_scale=config.drift_scale, preliminary_runs=config.preliminary_runs
+    )
     history = sim.run(auctions if auctions is not None else config.auctions)
     rows = tuple(history.premium_rows())
     return Table1Result(rows=rows, trend=premium_trend(list(rows)), history=history)

@@ -93,6 +93,11 @@ class AuctionRecord:
     def settled_fraction(self) -> float:
         return self.result.settlement.settled_fraction()
 
+    @property
+    def rounds(self) -> int:
+        """Clock rounds the binding auction took to clear."""
+        return self.result.rounds
+
 
 class TradingPlatform:
     """The resource-market trading platform."""

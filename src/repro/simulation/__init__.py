@@ -6,6 +6,12 @@ drives periodic auction events and organic utilization drift between them,
 scenario builders assemble a synthetic fleet plus an agent population plus a
 trading platform, and :class:`~repro.simulation.economy.MarketEconomySimulation`
 runs the whole thing and records per-auction statistics for the analysis layer.
+
+On top of that sits the scenario subsystem: the
+:mod:`~repro.simulation.catalog` of named, declarative
+:class:`~repro.simulation.catalog.ScenarioSpec` presets and the
+:class:`~repro.simulation.runner.ParallelRunner` that fans independent
+scenarios out across a process pool (also exposed as ``python -m repro``).
 """
 
 from repro.simulation.engine import Event, SimulationEngine
@@ -15,6 +21,20 @@ from repro.simulation.economy import (
     AuctionPeriodResult,
     EconomyHistory,
     MarketEconomySimulation,
+)
+from repro.simulation.catalog import (
+    SCENARIOS,
+    ScenarioSpec,
+    default_sweep_names,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.simulation.runner import (
+    ParallelRunner,
+    ScenarioRunResult,
+    SweepReport,
+    run_scenario,
 )
 
 __all__ = [
@@ -29,4 +49,14 @@ __all__ = [
     "AuctionPeriodResult",
     "EconomyHistory",
     "MarketEconomySimulation",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "default_sweep_names",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "ParallelRunner",
+    "ScenarioRunResult",
+    "SweepReport",
+    "run_scenario",
 ]

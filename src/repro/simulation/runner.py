@@ -1,0 +1,319 @@
+"""Parallel economy runner: fan independent scenarios out across a process pool.
+
+Each catalog scenario is an independent economy — its own fleet, population,
+seed, and auction sequence — so a sweep over scenarios (or over replicate
+seeds of one scenario) is embarrassingly parallel.  :class:`ParallelRunner`
+executes the jobs across a :class:`~concurrent.futures.ProcessPoolExecutor`,
+streams each finished result into an aggregation callback as it lands, and
+assembles a :class:`SweepReport` whose canonical JSON is **byte-identical**
+regardless of worker count or completion order: every job carries its own
+seed, results are ordered by submission, and wall-clock timings are kept out
+of the canonical report.
+
+With ``workers=1`` (or when a process pool cannot be created) the runner
+falls back to plain serial execution of the very same job list, which is what
+makes the determinism guarantee checkable:
+``run(names, workers=4).to_json() == run(names, workers=1).to_json()``.
+
+>>> from repro.simulation.catalog import get_scenario
+>>> spec = get_scenario("smoke").with_overrides(auctions=1)
+>>> report = ParallelRunner(workers=1).run_specs([spec])
+>>> [r.scenario for r in report.results]
+['smoke']
+>>> report.results[0].auctions
+1
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.simulation.catalog import ScenarioSpec
+from repro.simulation.economy import EconomyHistory, MarketEconomySimulation
+from repro.simulation.scenario import Scenario
+
+#: Significant digits kept in the canonical report (full float64 repr is
+#: deterministic too, but rounded values keep the JSON humane to read).
+_DIGITS = 6
+
+
+def _round(value: float) -> float:
+    return round(float(value), _DIGITS)
+
+
+def _round_list(values) -> list[float]:
+    return [_round(v) for v in values]
+
+
+@dataclass(frozen=True)
+class ScenarioRunResult:
+    """The cross-auction trajectory of one scenario run, in plain values.
+
+    Everything here is JSON-serialisable on purpose: results cross process
+    boundaries and land verbatim in the sweep report.
+    """
+
+    scenario: str
+    seed: int
+    engine: str
+    auctions: int
+    clusters: int
+    pools: int
+    teams: int
+    #: Median bid premium gamma_u per auction (Table I's headline trajectory).
+    median_premium: list[float]
+    #: Mean bid premium per auction.
+    mean_premium: list[float]
+    #: Fraction of orders settled per auction.
+    settled_fraction: list[float]
+    #: Clock rounds each binding auction took to clear.
+    clearing_rounds: list[int]
+    #: Std-dev of pool utilizations after each auction (migration flattens it).
+    utilization_spread: list[float]
+    #: Migration summary of the final auction.
+    migration: dict[str, float]
+    #: Settled trades pooled across all auctions.
+    trade_count: int
+
+    @property
+    def premium_drop(self) -> float:
+        """First-to-last change in median premium (negative = premiums fell)."""
+        return _round(self.median_premium[-1] - self.median_premium[0])
+
+    @property
+    def utilization_spread_change(self) -> float:
+        """First-to-last change in utilization spread (negative = flattening)."""
+        return _round(self.utilization_spread[-1] - self.utilization_spread[0])
+
+    def to_dict(self) -> dict[str, object]:
+        """The canonical per-scenario report entry."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "engine": self.engine,
+            "auctions": self.auctions,
+            "clusters": self.clusters,
+            "pools": self.pools,
+            "teams": self.teams,
+            "median_premium": self.median_premium,
+            "mean_premium": self.mean_premium,
+            "settled_fraction": self.settled_fraction,
+            "clearing_rounds": self.clearing_rounds,
+            "utilization_spread": self.utilization_spread,
+            "migration": self.migration,
+            "trade_count": self.trade_count,
+            "premium_drop": self.premium_drop,
+            "utilization_spread_change": self.utilization_spread_change,
+        }
+
+    @classmethod
+    def from_history(
+        cls, spec: ScenarioSpec, scenario: Scenario, history: EconomyHistory
+    ) -> "ScenarioRunResult":
+        """Flatten a finished economy run into the plain trajectory record."""
+        return cls(
+            scenario=spec.name,
+            seed=spec.config.seed,
+            engine=spec.config.auction_engine,
+            auctions=len(history),
+            clusters=len(scenario.fleet.clusters),
+            pools=len(scenario.pool_index),
+            teams=len(scenario.agents),
+            median_premium=_round_list(history.median_premium_series()),
+            mean_premium=_round_list(p.mean_premium for p in history.premium_rows()),
+            settled_fraction=_round_list(p.settled_fraction for p in history.periods),
+            clearing_rounds=[p.record.rounds for p in history.periods],
+            utilization_spread=_round_list(history.utilization_spread_series()),
+            migration={k: _round(v) for k, v in history.periods[-1].migration.items()},
+            trade_count=len(history.all_trades()),
+        )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioRunResult:
+    """Run one scenario start to finish in the current process."""
+    scenario = spec.build()
+    sim = MarketEconomySimulation(
+        scenario,
+        drift_scale=spec.drift_scale,
+        preliminary_runs=spec.preliminary_runs,
+    )
+    history = sim.run(spec.auctions)
+    return ScenarioRunResult.from_history(spec, scenario, history)
+
+
+def _run_job(spec: ScenarioSpec) -> ScenarioRunResult:
+    """Process-pool entry point (module-level so it pickles under any start method)."""
+    return run_scenario(spec)
+
+
+@dataclass
+class SweepReport:
+    """Cross-scenario aggregate of one runner invocation.
+
+    ``to_json()`` is canonical: sorted keys, fixed float rounding, no
+    timestamps or wall-clock timings — the same jobs always serialise to the
+    same bytes, whatever the worker count.
+    """
+
+    results: tuple[ScenarioRunResult, ...]
+
+    def _result_keys(self) -> list[str]:
+        """One unique key per result: the scenario name, disambiguated by seed
+        for replicate runs and by submission position for exact duplicates."""
+        name_counts: dict[str, int] = {}
+        for r in self.results:
+            name_counts[r.scenario] = name_counts.get(r.scenario, 0) + 1
+        keys: list[str] = []
+        used: set[str] = set()
+        for r in self.results:
+            key = r.scenario if name_counts[r.scenario] == 1 else f"{r.scenario}@seed{r.seed}"
+            if key in used:  # same scenario AND same seed submitted twice
+                suffix = 2
+                while f"{key}#{suffix}" in used:
+                    suffix += 1
+                key = f"{key}#{suffix}"
+            used.add(key)
+            keys.append(key)
+        return keys
+
+    def aggregate(self) -> dict[str, object]:
+        """The cross-scenario roll-up: premiums, migration, clearing effort."""
+        keys = self._result_keys()
+        return {
+            "scenario_count": len(self.results),
+            "total_auctions": sum(r.auctions for r in self.results),
+            "total_trades": sum(r.trade_count for r in self.results),
+            "mean_clearing_rounds": _round(
+                float(np.mean([rounds for r in self.results for rounds in r.clearing_rounds]))
+            )
+            if self.results
+            else 0.0,
+            "premium_drop": {k: r.premium_drop for k, r in zip(keys, self.results)},
+            "utilization_spread_change": {
+                k: r.utilization_spread_change for k, r in zip(keys, self.results)
+            },
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "scenarios": [r.to_dict() for r in self.results],
+            "aggregate": self.aggregate(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (the byte-identical artifact the benchmark compares)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+class ParallelRunner:
+    """Execute independent scenario jobs across a process pool.
+
+    ``workers=None`` uses every core up to the job count; ``workers=1`` runs
+    serially in-process.  If the pool cannot be created at all (sandboxes
+    that forbid subprocesses), the runner degrades to the serial path rather
+    than failing — the report is identical either way.
+    """
+
+    def __init__(self, *, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def _resolve_workers(self, job_count: int) -> int:
+        workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        return max(1, min(workers, job_count))
+
+    def run_specs(
+        self,
+        specs: Sequence[ScenarioSpec],
+        *,
+        on_result: Callable[[ScenarioRunResult], None] | None = None,
+    ) -> SweepReport:
+        """Run every spec; stream each finished result to ``on_result``.
+
+        ``on_result`` fires once per spec as its run completes (completion
+        order under a pool); the returned report is always in submission
+        order regardless of which worker finished first.
+        """
+        specs = list(specs)
+        if not specs:
+            return SweepReport(results=())
+        results: list[ScenarioRunResult | None] = [None] * len(specs)
+        workers = self._resolve_workers(len(specs))
+        if workers > 1:
+            try:
+                self._fill_from_pool(specs, workers, results, on_result)
+            except (OSError, PermissionError, BrokenExecutor):
+                # Process pools are unavailable (restricted sandbox) or a
+                # worker could not be forked mid-run; the serial path below
+                # finishes only the jobs that have not completed yet, so
+                # ``on_result`` still fires exactly once per spec.
+                pass
+        for i, spec in enumerate(specs):
+            if results[i] is None:
+                results[i] = self._guarded(spec, run_scenario)
+                if on_result is not None:
+                    on_result(results[i])
+        return SweepReport(results=tuple(r for r in results if r is not None))
+
+    def run_replicates(
+        self,
+        spec: ScenarioSpec,
+        replicates: int,
+        *,
+        on_result: Callable[[ScenarioRunResult], None] | None = None,
+    ) -> SweepReport:
+        """Run ``replicates`` copies of one scenario under seeds ``seed+i``."""
+        if replicates < 1:
+            raise ValueError("replicates must be >= 1")
+        specs = [
+            spec.with_overrides(seed=spec.config.seed + i) for i in range(replicates)
+        ]
+        return self.run_specs(specs, on_result=on_result)
+
+    # -- execution paths -----------------------------------------------------------------
+    def _fill_from_pool(self, specs, workers, results, on_result) -> None:
+        """Run the jobs across a pool, filling ``results`` slots as they land."""
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {}
+            try:
+                for i, spec in enumerate(specs):
+                    future = pool.submit(_run_job, spec)
+                    pending[future] = i
+                while pending:
+                    done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = pending.pop(future)
+                        error = future.exception()
+                        if error is not None:
+                            if isinstance(error, (OSError, PermissionError, BrokenExecutor)):
+                                # Worker creation/death failure, not a scenario
+                                # failure — leave the slot for the serial fallback.
+                                raise error
+                            raise RuntimeError(
+                                f"scenario {specs[i].name!r} failed in worker: {error}"
+                            ) from error
+                        results[i] = future.result()
+                        if on_result is not None:
+                            on_result(results[i])
+            except BaseException:
+                # Surface the failure now: drop queued jobs instead of letting
+                # the context manager's shutdown(wait=True) run them all first.
+                # (Jobs already executing in a worker cannot be interrupted.)
+                for future in pending:
+                    future.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+    @staticmethod
+    def _guarded(spec: ScenarioSpec, fn) -> ScenarioRunResult:
+        try:
+            return fn(spec)
+        except Exception as error:
+            raise RuntimeError(f"scenario {spec.name!r} failed: {error}") from error

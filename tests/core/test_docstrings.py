@@ -1,9 +1,11 @@
-"""Run every docstring example in repro.core and repro.bidlang as a test.
+"""Run every docstring example in the documented packages as a test.
 
-The documentation promise of this repo is that every example in a core or
-bidlang docstring actually runs; this test executes them all with
-:mod:`doctest` so an API change that breaks an example breaks the tier-1
-suite, not just the rendered docs.
+The documentation promise of this repo is that every example in a core,
+bidlang, cluster, or simulation docstring actually runs; this test executes
+them all with :mod:`doctest` so an API change that breaks an example breaks
+the tier-1 suite, not just the rendered docs.  The simulation sweep covers
+the scenario catalog and parallel runner modules, and :mod:`repro.cli` is
+included explicitly so the ``python -m repro`` examples stay honest.
 """
 
 import doctest
@@ -13,7 +15,9 @@ import pkgutil
 import pytest
 
 import repro.bidlang
+import repro.cluster
 import repro.core
+import repro.simulation
 
 
 def _modules_of(package):
@@ -23,7 +27,15 @@ def _modules_of(package):
     return names
 
 
-MODULES = sorted(set(_modules_of(repro.core) + _modules_of(repro.bidlang)))
+MODULES = sorted(
+    set(
+        _modules_of(repro.core)
+        + _modules_of(repro.bidlang)
+        + _modules_of(repro.cluster)
+        + _modules_of(repro.simulation)
+        + ["repro.cli"]
+    )
+)
 
 
 @pytest.mark.parametrize("module_name", MODULES)

@@ -1,0 +1,147 @@
+"""Tests for the scenario catalog: registry integrity, presets, overrides."""
+
+import dataclasses
+
+import pytest
+
+from repro.agents.population import PopulationSpec
+from repro.cluster.fleet_gen import FleetSpec
+from repro.simulation.catalog import (
+    SCENARIOS,
+    ScenarioSpec,
+    default_sweep_names,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.simulation.scenario import ScenarioConfig
+
+
+def tiny_config(seed: int = 0) -> ScenarioConfig:
+    return ScenarioConfig(
+        fleet=FleetSpec(cluster_count=2, sites=1, machines_range=(5, 10)),
+        population=PopulationSpec(team_count=4),
+        seed=seed,
+    )
+
+
+class TestRegistry:
+    def test_issue_presets_are_registered(self):
+        expected = {
+            "paper-reference",
+            "congested-fleet",
+            "trader-heavy",
+            "flash-crowd",
+            "idle-fleet-migration",
+            "10k-bidder-stress",
+            "smoke",
+        }
+        assert expected <= set(scenario_names())
+
+    def test_default_sweep_excludes_stress_and_has_six(self):
+        names = default_sweep_names()
+        assert len(names) >= 6
+        assert "10k-bidder-stress" not in names
+        assert all("stress" not in SCENARIOS[n].tags for n in names)
+
+    def test_unknown_scenario_lists_available(self):
+        with pytest.raises(KeyError, match="paper-reference"):
+            get_scenario("no-such-economy")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(
+                ScenarioSpec(name="smoke", description="dup", config=tiny_config())
+            )
+
+    def test_registered_specs_are_well_formed(self):
+        # Every preset must carry a description and a valid kebab-case name.
+        for name, spec in SCENARIOS.items():
+            assert spec.name == name
+            assert spec.description
+            assert spec.auctions >= 1
+
+
+class TestScenarioSpec:
+    def test_paper_reference_matches_paper_dimensions(self):
+        spec = get_scenario("paper-reference")
+        # "around 100 bidders and 100 system-level resources" (Section III-C-4)
+        assert spec.config.population.team_count == 100
+        assert spec.config.fleet.cluster_count * 3 == 102  # pools = clusters x dims
+        assert spec.auctions == 6
+
+    def test_stress_scenario_uses_batch_engine(self):
+        spec = get_scenario("10k-bidder-stress")
+        assert spec.config.auction_engine == "batch"
+        assert spec.config.population.team_count == 10_000
+        assert "stress" in spec.tags
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kebab-case"):
+            ScenarioSpec(name="Bad Name", description="x", config=tiny_config())
+        with pytest.raises(ValueError, match="description"):
+            ScenarioSpec(name="ok", description="  ", config=tiny_config())
+        with pytest.raises(ValueError, match="auctions"):
+            ScenarioSpec(name="ok", description="x", config=tiny_config(), auctions=0)
+        with pytest.raises(ValueError, match="drift_scale"):
+            ScenarioSpec(name="ok", description="x", config=tiny_config(), drift_scale=-1)
+
+    def test_with_overrides_replaces_only_requested_knobs(self):
+        spec = get_scenario("smoke")
+        out = spec.with_overrides(auctions=1, seed=7, engine="scalar")
+        assert (out.auctions, out.config.seed, out.config.auction_engine) == (1, 7, "scalar")
+        # untouched knobs survive
+        assert out.config.fleet == spec.config.fleet
+        assert out.drift_scale == spec.drift_scale
+        # original is unchanged (frozen dataclass semantics)
+        assert spec.config.seed == 2009
+
+    def test_build_materialises_the_declared_scale(self):
+        scenario = get_scenario("smoke").build()
+        assert len(scenario.fleet.clusters) == 8
+        assert len(scenario.agents) == 24
+
+    def test_summary_is_json_friendly(self):
+        import json
+
+        summary = get_scenario("paper-reference").summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["teams"] == 100
+
+
+class TestExperimentConfigBridge:
+    def test_paper_scale_is_paper_reference(self):
+        from repro.experiments.config import PAPER_SCALE
+
+        assert PAPER_SCALE.scenario_config() == get_scenario("paper-reference").config
+
+    def test_test_scale_is_smoke(self):
+        from repro.experiments.config import TEST_SCALE
+
+        assert TEST_SCALE.scenario_config() == get_scenario("smoke").config
+        assert TEST_SCALE.auctions == get_scenario("smoke").auctions
+
+    def test_from_scenario_accepts_spec_objects(self):
+        from repro.experiments.config import ExperimentConfig
+
+        spec = get_scenario("congested-fleet")
+        config = ExperimentConfig.from_scenario(spec)
+        assert config.cluster_count == spec.config.fleet.cluster_count
+        # base carries knobs the scale fields cannot express
+        assert config.scenario_config().fleet.utilization_range == (0.70, 0.97)
+
+    def test_replace_on_derived_config_takes_effect(self):
+        from repro.experiments.config import PAPER_SCALE
+
+        scaled = dataclasses.replace(PAPER_SCALE, team_count=10, cluster_count=5)
+        config = scaled.scenario_config()
+        assert config.population.team_count == 10
+        assert config.fleet.cluster_count == 5
+
+    def test_ad_hoc_config_still_builds_without_base(self):
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig(cluster_count=3, team_count=5, seed=1)
+        scenario_config = config.scenario_config()
+        assert scenario_config.fleet.cluster_count == 3
+        assert scenario_config.population.team_count == 5

@@ -1,0 +1,87 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.simulation.catalog import default_sweep_names
+
+
+class TestParser:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "smoke", "--auctions", "2", "--seed", "7", "--engine", "batch", "--json"]
+        )
+        assert (args.scenario, args.auctions, args.seed, args.engine) == ("smoke", 2, 7, "batch")
+        assert args.json
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.scenarios == []
+        assert not args.all
+
+
+class TestList:
+    def test_table_names_every_scenario(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in default_sweep_names():
+            assert name in out
+
+    def test_json_mode(self, capsys):
+        assert main(["list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(row["name"] == "paper-reference" for row in rows)
+
+    def test_tag_filter(self, capsys):
+        assert main(["list", "--tag", "stress", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["name"] for row in rows] == ["10k-bidder-stress"]
+
+
+class TestRun:
+    def test_unknown_scenario_exits_2_with_suggestions(self, capsys):
+        assert main(["run", "no-such-economy"]) == 2
+        err = capsys.readouterr().err
+        assert "paper-reference" in err
+
+    def test_run_smoke_json_report(self, capsys):
+        assert main(["run", "smoke", "--workers", "1", "--auctions", "1", "--json"]) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["aggregate"]["scenario_count"] == 1
+        assert report["scenarios"][0]["scenario"] == "smoke"
+        # progress/timing stay on stderr, never in the JSON artifact
+        assert "finished in" in captured.err
+
+    def test_out_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["run", "smoke", "--workers", "1", "--auctions", "1",
+                     "--json", "--out", str(out)]) == 0
+        assert json.loads(out.read_text()) == json.loads(capsys.readouterr().out)
+
+
+class TestSweep:
+    def test_explicit_scenario_selection(self, capsys):
+        assert main(["sweep", "smoke", "--workers", "1", "--auctions", "1", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [s["scenario"] for s in report["scenarios"]] == ["smoke"]
+
+    def test_text_report_prints_aggregate_line(self, capsys):
+        assert main(["sweep", "smoke", "--workers", "1", "--auctions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 scenario(s)" in out
+        assert "clock rounds per auction" in out
+
+    def test_explicit_names_conflict_with_all(self, capsys):
+        assert main(["sweep", "smoke", "--all"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_zero_replicates_rejected(self, capsys):
+        assert main(["run", "smoke", "--replicates", "0"]) == 2
+        assert "--replicates" in capsys.readouterr().err

@@ -1,0 +1,138 @@
+"""Tests for the parallel economy runner: determinism, streaming, fallback."""
+
+import json
+
+import pytest
+
+from repro.agents.population import PopulationSpec
+from repro.cluster.fleet_gen import FleetSpec
+from repro.simulation.catalog import ScenarioSpec, get_scenario
+from repro.simulation.runner import (
+    ParallelRunner,
+    ScenarioRunResult,
+    SweepReport,
+    run_scenario,
+)
+from repro.simulation.scenario import ScenarioConfig
+
+
+def tiny_spec(name: str = "tiny", seed: int = 0, auctions: int = 1) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description="tiny runner-test economy",
+        config=ScenarioConfig(
+            fleet=FleetSpec(cluster_count=3, sites=1, machines_range=(5, 12)),
+            population=PopulationSpec(team_count=6, budget_per_team=100_000.0),
+            seed=seed,
+        ),
+        auctions=auctions,
+    )
+
+
+class TestRunScenario:
+    def test_trajectories_have_one_entry_per_auction(self):
+        result = run_scenario(tiny_spec(auctions=2))
+        assert result.auctions == 2
+        assert len(result.median_premium) == 2
+        assert len(result.clearing_rounds) == 2
+        assert len(result.utilization_spread) == 2
+        assert result.teams == 6
+        assert result.pools == 9  # 3 clusters x 3 resource dimensions
+
+    def test_result_dict_round_trips_through_json(self):
+        result = run_scenario(tiny_spec())
+        assert json.loads(json.dumps(result.to_dict())) == result.to_dict()
+
+    def test_same_seed_same_result(self):
+        assert run_scenario(tiny_spec(seed=5)) == run_scenario(tiny_spec(seed=5))
+
+    def test_different_seed_different_fleet_outcome(self):
+        a = run_scenario(tiny_spec(seed=1))
+        b = run_scenario(tiny_spec(seed=2))
+        assert a != b
+
+
+class TestParallelRunner:
+    def test_serial_report_order_follows_submission_order(self):
+        specs = [tiny_spec("tiny-b", seed=2), tiny_spec("tiny-a", seed=1)]
+        report = ParallelRunner(workers=1).run_specs(specs)
+        assert [r.scenario for r in report.results] == ["tiny-b", "tiny-a"]
+
+    def test_parallel_report_is_byte_identical_to_serial(self):
+        specs = [tiny_spec(f"tiny-{i}", seed=i) for i in range(3)]
+        serial = ParallelRunner(workers=1).run_specs(specs)
+        parallel = ParallelRunner(workers=2).run_specs(specs)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_streaming_callback_sees_every_result(self):
+        specs = [tiny_spec(f"tiny-{i}", seed=i) for i in range(3)]
+        seen: list[str] = []
+        ParallelRunner(workers=2).run_specs(specs, on_result=lambda r: seen.append(r.scenario))
+        assert sorted(seen) == ["tiny-0", "tiny-1", "tiny-2"]
+
+    def test_empty_job_list(self):
+        report = ParallelRunner(workers=1).run_specs([])
+        assert report.results == ()
+        assert report.aggregate()["scenario_count"] == 0
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=0)
+
+    def test_replicates_fan_out_over_consecutive_seeds(self):
+        report = ParallelRunner(workers=1).run_replicates(tiny_spec(seed=10), 3)
+        assert [r.seed for r in report.results] == [10, 11, 12]
+        assert len({json.dumps(r.to_dict()) for r in report.results}) == 3
+
+    def test_replicates_keep_one_aggregate_entry_per_seed(self):
+        report = ParallelRunner(workers=1).run_replicates(tiny_spec(seed=10), 3)
+        drops = report.aggregate()["premium_drop"]
+        assert sorted(drops) == ["tiny@seed10", "tiny@seed11", "tiny@seed12"]
+
+    def test_exact_duplicate_jobs_keep_distinct_aggregate_entries(self):
+        spec = tiny_spec(seed=10)
+        report = ParallelRunner(workers=1).run_specs([spec, spec])
+        drops = report.aggregate()["premium_drop"]
+        assert sorted(drops) == ["tiny@seed10", "tiny@seed10#2"]
+
+    def test_replicate_count_validated(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=1).run_replicates(tiny_spec(), 0)
+
+    def test_worker_failure_names_the_scenario(self):
+        # The invalid engine only raises once the worker builds the scenario.
+        bad = ScenarioSpec(
+            name="will-fail",
+            description="raises in the worker",
+            config=ScenarioConfig(
+                fleet=FleetSpec(cluster_count=1, sites=1, machines_range=(5, 6)),
+                population=PopulationSpec(team_count=1),
+                auction_engine="no-such-engine",
+            ),
+            auctions=1,
+        )
+        with pytest.raises(RuntimeError, match="will-fail"):
+            ParallelRunner(workers=1).run_specs([bad])
+
+
+class TestSweepReport:
+    def test_canonical_json_is_stable_and_sorted(self):
+        report = ParallelRunner(workers=1).run_specs([tiny_spec()])
+        payload = report.to_json()
+        assert payload == ParallelRunner(workers=1).run_specs([tiny_spec()]).to_json()
+        decoded = json.loads(payload)
+        assert set(decoded) == {"scenarios", "aggregate"}
+        assert decoded["aggregate"]["scenario_count"] == 1
+
+    def test_aggregate_totals(self):
+        specs = [tiny_spec("tiny-a", seed=1, auctions=2), tiny_spec("tiny-b", seed=2)]
+        report = ParallelRunner(workers=1).run_specs(specs)
+        aggregate = report.aggregate()
+        assert aggregate["total_auctions"] == 3
+        assert set(aggregate["premium_drop"]) == {"tiny-a", "tiny-b"}
+
+    def test_smoke_scenario_runs_from_the_catalog(self):
+        spec = get_scenario("smoke").with_overrides(auctions=1)
+        report = ParallelRunner(workers=1).run_specs([spec])
+        assert report.results[0].scenario == "smoke"
+        assert report.results[0].trade_count > 0
