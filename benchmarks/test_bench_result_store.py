@@ -1,0 +1,124 @@
+"""Benchmark E-STORE: result-store write overhead on a replicate sweep.
+
+The persistent result store turns every ``run``/``sweep`` into durable,
+comparable history — but persistence that slowed the sweeps it records would
+not survive.  This benchmark runs a replicate sweep recording into a fresh
+sqlite store, times every ``record()`` call from inside the sweep, and
+asserts the store's write time stays **under 5% of the sweep's wall time**.
+Timing the writes in situ (rather than diffing a with-store run against a
+without-store run) keeps the measurement immune to machine-load drift
+between two multi-second runs: the sqlite cost is milliseconds, and a
+subtraction of seconds-scale wall clocks would measure the machine, not the
+store.  At full scale the measurement is appended to
+``BENCH_result_store.json`` at the repository root so the trajectory is
+tracked across PRs.
+
+Set ``REPRO_BENCH_SCALE=test`` (as for every other benchmark) to run a
+reduced sweep that skips the JSON recording.  The overhead bar is only
+*enforced* at full scale: a reduced smoke sweep finishes in a fraction of a
+second, where the store's constant per-run fsync cost dwarfs 5% of nothing —
+the assertion would measure the machine's disk latency, not the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_section
+
+from repro.results.store import ResultStore
+from repro.simulation.runner import ParallelRunner
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_result_store.json"
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper").lower() != "test"
+REPLICATES = 3
+TRIALS = 2
+
+#: The acceptance bar from the store's design goal: recording a sweep must
+#: cost less than 5% of the sweep's own wall time.
+MAX_OVERHEAD = 0.05
+
+
+class TimedStore(ResultStore):
+    """A store that accumulates the wall time spent inside ``record()``."""
+
+    def __init__(self, path):
+        super().__init__(path)
+        self.write_seconds = 0.0
+
+    def record(self, result, *, code_version=None):
+        start = time.perf_counter()
+        stored = super().record(result, code_version=code_version)
+        self.write_seconds += time.perf_counter() - start
+        return stored
+
+
+def sweep_spec(bench_config):
+    spec = bench_config.as_scenario_spec(name="store-overhead")
+    if not FULL_SCALE:
+        spec = spec.with_overrides(auctions=1)
+    return spec
+
+
+def measure(spec, tmp_path) -> dict[str, float]:
+    """Best-of-``TRIALS`` overhead for one recorded replicate sweep."""
+    best = {"overhead": float("inf")}
+    for trial in range(TRIALS):
+        target = tmp_path / f"trial-{trial}.sqlite"
+        start = time.perf_counter()
+        with TimedStore(target) as store:
+            ParallelRunner(workers=1).run_replicates(  # serial: stable timing
+                spec, REPLICATES, store=store, code_version="bench"
+            )
+            wall = time.perf_counter() - start
+            assert len(store) == REPLICATES  # the store really holds every replicate
+            writes = store.write_seconds
+        overhead = writes / wall
+        if overhead < best["overhead"]:
+            best = {"wall": wall, "writes": writes, "overhead": overhead}
+    return best
+
+
+def test_store_write_overhead_under_5_percent(benchmark, bench_config, tmp_path):
+    spec = sweep_spec(bench_config)
+    rows = {}
+
+    def run_trials():
+        rows.update(measure(spec, tmp_path))
+        return rows
+
+    benchmark.pedantic(run_trials, rounds=1, iterations=1)
+
+    print_section(f"Result-store write overhead ({REPLICATES} replicates, serial)")
+    print(
+        f"sweep {rows['wall']:.2f}s   store writes {rows['writes'] * 1000:.1f}ms   "
+        f"overhead {rows['overhead'] * 100:.2f}%"
+    )
+
+    if FULL_SCALE:
+        history = []
+        if BENCH_JSON.exists():
+            history = json.loads(BENCH_JSON.read_text())
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+        if history and history[-1]["recorded_at"][:10] == stamp[:10]:
+            history.pop()
+        history.append(
+            {
+                "recorded_at": stamp,
+                "scenario": spec.name,
+                "replicates": REPLICATES,
+                "sweep_seconds": rows["wall"],
+                "store_write_seconds": rows["writes"],
+                "overhead_fraction": rows["overhead"],
+            }
+        )
+        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+
+        assert rows["overhead"] < MAX_OVERHEAD, (
+            f"store writes cost {rows['overhead'] * 100:.1f}% of sweep wall time "
+            f"(budget: {MAX_OVERHEAD * 100:.0f}%)"
+        )

@@ -1,4 +1,4 @@
-"""Plain-text rendering of analysis results (tables the benchmarks print)."""
+"""Plain-text rendering of analysis results (tables the benchmarks and CLI print)."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ from typing import Mapping, Sequence
 from repro.analysis.boxplot import BoxplotStats
 from repro.analysis.premium import PremiumStats
 from repro.analysis.price_ratio import PriceRatioRow
+from repro.results.stats import ComparisonReport, ReplicateStats
 
 
 def render_table(
@@ -62,6 +63,53 @@ def render_figure6_rows(
         ],
         title=title,
     )
+
+
+def render_replicate_stats(
+    stats: Mapping[str, ReplicateStats], *, title: str | None = None
+) -> str:
+    """Render per-metric replicate statistics (what ``results show`` prints)."""
+    rows = []
+    for name, s in stats.items():
+        ci = f"[{s.ci95[0]:.4f}, {s.ci95[1]:.4f}]" if s.ci95 is not None else "-"
+        stddev = f"{s.stddev:.4f}" if s.stddev is not None else "-"
+        rows.append([name, s.count, s.mean, stddev, ci])
+    return render_table(
+        ["Metric", "n", "Mean", "Stddev", "95% CI"],
+        rows,
+        title=title,
+    )
+
+
+def render_metric_comparisons(report: ComparisonReport, *, title: str | None = None) -> str:
+    """Render a baseline-vs-candidate comparison (what ``results compare`` prints)."""
+    rows = []
+    for c in report.comparisons:
+        relative = f"{c.relative_change * 100:+.1f}%" if c.relative_change is not None else "-"
+        verdict = "REGRESSION" if c.regression else ("drift" if c.significant else "ok")
+        rows.append(
+            [c.metric, c.direction, c.baseline.mean, c.candidate.mean, c.delta, relative, verdict]
+        )
+    header = (
+        title
+        if title is not None
+        else (
+            f"{report.baseline_label} -> {report.candidate_label} "
+            f"(tolerance {report.tolerance * 100:.0f}%)"
+        )
+    )
+    table = render_table(
+        ["Metric", "Dir", "Baseline", "Candidate", "Delta", "Rel", "Verdict"],
+        rows,
+        title=header,
+    )
+    if report.missing_metrics:
+        table += (
+            "\n(not compared — present on one side only: "
+            + ", ".join(report.missing_metrics)
+            + ")"
+        )
+    return table
 
 
 def render_boxplots(

@@ -1,6 +1,6 @@
 """``python -m repro`` — run catalog scenarios from the command line.
 
-Three subcommands:
+Four subcommands:
 
 ``list``
     Show every scenario in the catalog (name, scale, tags, description).
@@ -10,8 +10,16 @@ Three subcommands:
 ``sweep``
     Run a batch of scenarios across a process pool and print the aggregate
     cross-scenario report.
+``results``
+    Inspect the persistent result store: ``results list`` (what is stored),
+    ``results show`` (mean / 95% CI per metric across replicates), and
+    ``results compare`` (diff two code versions and flag regressions —
+    exits with code 3 when a metric regressed beyond the tolerance).
 
-``--json`` switches stdout from human-readable tables to the runner's
+``run`` and ``sweep`` persist every finished run into the sqlite result
+store (``--db``, default ``./repro_results.sqlite`` or ``$REPRO_RESULTS_DB``)
+keyed by ``(scenario, seed, code_version, engine)``; pass ``--no-store`` to
+skip.  ``--json`` switches stdout from human-readable tables to the runner's
 canonical JSON report, which is byte-identical for any ``--workers`` value;
 progress and timing always go to stderr so they never pollute the artifact.
 
@@ -20,11 +28,16 @@ progress and timing always go to stderr so they never pollute the artifact.
 2
 >>> build_parser().parse_args(["sweep", "--all"]).all
 True
+>>> build_parser().parse_args(["results", "show", "smoke"]).scenario
+'smoke'
+>>> build_parser().parse_args(["results", "compare", "smoke", "--tolerance", "0.1"]).tolerance
+0.1
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -36,6 +49,10 @@ from repro.simulation.catalog import (
     scenario_names,
 )
 from repro.simulation.runner import ParallelRunner, ScenarioRunResult, SweepReport
+
+#: Exit code of ``results compare`` when a metric regressed (distinct from
+#: 1 = error and 2 = usage so CI can tell "regression" from "broken run").
+EXIT_REGRESSION = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +80,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--all", action="store_true",
                            help="include stress-tagged scenarios too")
     _add_run_options(sweep_cmd)
+
+    results_cmd = sub.add_parser("results", help="inspect the persistent result store")
+    results_sub = results_cmd.add_subparsers(dest="results_command", required=True)
+
+    r_list = results_sub.add_parser("list", help="what the store holds, per scenario/version")
+    _add_store_options(r_list)
+    r_list.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    r_show = results_sub.add_parser("show", help="mean/stddev/95%% CI per metric")
+    r_show.add_argument("scenario", help="stored scenario name")
+    _add_store_options(r_show)
+    r_show.add_argument("--code-version", default=None, metavar="V",
+                        help="which recorded code version (default: the latest)")
+    r_show.add_argument("--engine", default=None, help="restrict to one demand engine")
+    r_show.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    r_cmp = results_sub.add_parser(
+        "compare", help="diff two code versions; exit 3 on metric regressions")
+    r_cmp.add_argument("scenario", help="stored scenario name")
+    _add_store_options(r_cmp)
+    r_cmp.add_argument("--baseline", default=None, metavar="V",
+                       help="baseline code version (default: second-newest recorded)")
+    r_cmp.add_argument("--candidate", default=None, metavar="V",
+                       help="candidate code version (default: newest recorded)")
+    r_cmp.add_argument("--tolerance", type=float, default=0.05, metavar="FRAC",
+                       help="relative change a metric may move before it flags (default 0.05)")
+    r_cmp.add_argument("--engine", default=None, help="restrict to one demand engine")
+    r_cmp.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     return parser
 
 
@@ -78,6 +123,16 @@ def _add_run_options(cmd: argparse.ArgumentParser) -> None:
                      help="emit the canonical JSON report on stdout")
     cmd.add_argument("--out", type=Path, default=None, metavar="FILE",
                      help="also write the canonical JSON report to FILE")
+    _add_store_options(cmd)
+    cmd.add_argument("--no-store", action="store_true",
+                     help="do not persist results into the store")
+    cmd.add_argument("--code-version", default=None, metavar="V",
+                     help="record under this code version (default: derived from the tree)")
+
+
+def _add_store_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--db", type=Path, default=None, metavar="FILE",
+                     help="result store path (default: $REPRO_RESULTS_DB or ./repro_results.sqlite)")
 
 
 class _UsageError(Exception):
@@ -101,13 +156,22 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
-        return _cmd_sweep(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        return _cmd_results(args)
     except _UsageError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except (ValueError, RuntimeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout's reader went away (`repro results show ... | head`); exit
+        # quietly instead of tracebacking.  Re-point stdout at devnull so the
+        # interpreter's shutdown flush cannot raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 # -- list ---------------------------------------------------------------------------------
@@ -194,14 +258,40 @@ def _print_text_report(report: SweepReport) -> None:
     )
 
 
+def _store_for(args: argparse.Namespace):
+    """The (store, code_version) a run/sweep records into, or (None, None)."""
+    if args.no_store:
+        return None, None
+    from repro.results.store import default_code_version, open_store
+
+    version = args.code_version or default_code_version()
+    return open_store(args.db), version
+
+
+def _record_note(report: SweepReport, store, version: str) -> None:
+    print(
+        f"{len(report.results)} run(s) recorded to {store.path} (code version {version})",
+        file=sys.stderr,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.replicates < 1:
         raise _UsageError("--replicates must be >= 1")
     spec = _get_spec(args.scenario).with_overrides(**_overrides(args))
     runner = ParallelRunner(workers=args.workers)
+    store, version = _store_for(args)
     start = time.perf_counter()
-    # replicates=1 runs the spec under its own seed (seed + 0).
-    report = runner.run_replicates(spec, args.replicates, on_result=_progress)
+    try:
+        # replicates=1 runs the spec under its own seed (seed + 0).
+        report = runner.run_replicates(
+            spec, args.replicates, on_result=_progress, store=store, code_version=version
+        )
+        if store is not None:
+            _record_note(report, store, version)
+    finally:
+        if store is not None:
+            store.close()
     _emit(report, args, time.perf_counter() - start, args.workers)
     return 0
 
@@ -214,9 +304,144 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     specs = [_get_spec(name).with_overrides(**overrides) for name in names]
     print(f"sweeping {len(specs)} scenario(s): {', '.join(s.name for s in specs)}", file=sys.stderr)
     runner = ParallelRunner(workers=args.workers)
+    store, version = _store_for(args)
     start = time.perf_counter()
-    report = runner.run_specs(specs, on_result=_progress)
+    try:
+        report = runner.run_specs(specs, on_result=_progress, store=store, code_version=version)
+        if store is not None:
+            _record_note(report, store, version)
+    finally:
+        if store is not None:
+            store.close()
     _emit(report, args, time.perf_counter() - start, args.workers)
+    return 0
+
+
+# -- results ------------------------------------------------------------------------------
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    from repro.results.store import open_store
+
+    with open_store(args.db) as store:
+        if args.results_command == "list":
+            return _cmd_results_list(args, store)
+        if args.results_command == "show":
+            return _cmd_results_show(args, store)
+        return _cmd_results_compare(args, store)
+
+
+def _cmd_results_list(args: argparse.Namespace, store) -> int:
+    summary = store.summary()
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if not summary:
+        print(f"result store {store.path} is empty")
+        return 0
+    header = f"{'scenario':<22} {'code version':<18} {'engine':>7} {'replicates':>10} {'seeds':>12}  recorded at"
+    print(header)
+    print("-" * len(header))
+    for row in summary:
+        print(
+            f"{row['scenario']:<22} {row['code_version']:<18} {row['engine']:>7} "
+            f"{row['replicates']:>10} {row['seeds']:>12}  {row['recorded_at']}"
+        )
+    return 0
+
+
+def _cmd_results_show(args: argparse.Namespace, store) -> int:
+    from repro.analysis.reports import render_replicate_stats
+    from repro.results.stats import scenario_stats
+
+    version = args.code_version or store.latest_code_version(scenario=args.scenario)
+    if version is None:
+        raise _UsageError(f"no stored runs for scenario {args.scenario!r} in {store.path}")
+    try:
+        stats = scenario_stats(store, args.scenario, code_version=version, engine=args.engine)
+    except ValueError as error:  # e.g. runs span several engines
+        raise _UsageError(str(error)) from None
+    if not stats:
+        raise _UsageError(
+            f"no stored runs for scenario {args.scenario!r} under code version {version!r}"
+        )
+    count = max(s.count for s in stats.values())
+    if args.json:
+        import json
+
+        payload = {
+            "scenario": args.scenario,
+            "code_version": version,
+            "replicates": count,
+            "metrics": {name: s.to_dict() for name, s in stats.items()},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        render_replicate_stats(
+            stats,
+            title=f"{args.scenario} @ {version} ({count} replicate(s))",
+        )
+    )
+    return 0
+
+
+def _cmd_results_compare(args: argparse.Namespace, store) -> int:
+    from repro.analysis.reports import render_metric_comparisons
+    from repro.results.stats import compare_versions
+
+    baseline, candidate = args.baseline, args.candidate
+    if baseline is None or candidate is None:
+        versions = store.code_versions(scenario=args.scenario)
+        if candidate is None:
+            if not versions:
+                raise _UsageError(f"no stored runs for scenario {args.scenario!r} in {store.path}")
+            candidate = versions[-1]
+        if baseline is None:
+            # The newest version recorded *before* the candidate, so an
+            # explicit --candidate naming an older version still compares
+            # forward in time instead of against a newer build.
+            earlier = (
+                versions[: versions.index(candidate)]
+                if candidate in versions
+                else [v for v in versions if v != candidate]
+            )
+            if not earlier:
+                raise _UsageError(
+                    f"scenario {args.scenario!r} has no stored code version recorded "
+                    f"before {candidate!r}; pass --baseline explicitly"
+                )
+            baseline = earlier[-1]
+    try:
+        report = compare_versions(
+            store,
+            args.scenario,
+            baseline_version=baseline,
+            candidate_version=candidate,
+            tolerance=args.tolerance,
+            engine=args.engine,
+        )
+    except ValueError as error:
+        raise _UsageError(str(error)) from None
+    if not report.comparisons:
+        # Nothing shared to compare must not read as a green gate.
+        raise _UsageError(
+            f"versions {baseline!r} and {candidate!r} share no metrics for "
+            f"{args.scenario!r} (one-sided: {', '.join(report.missing_metrics) or 'none'})"
+        )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_metric_comparisons(report))
+    if not report.ok:
+        names = ", ".join(c.metric for c in report.regressions)
+        print(f"REGRESSION: {names} moved beyond tolerance "
+              f"{args.tolerance:.2%} between {baseline} and {candidate}", file=sys.stderr)
+        return EXIT_REGRESSION
     return 0
 
 

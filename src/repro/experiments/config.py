@@ -94,6 +94,25 @@ class ExperimentConfig:
             )
         return replace(base, **overrides) if overrides else base
 
+    def as_scenario_spec(
+        self, name: str = "experiment", description: str | None = None, **overrides
+    ) -> ScenarioSpec:
+        """Wrap these knobs back into a runnable :class:`ScenarioSpec`.
+
+        The inverse of :meth:`from_scenario`: benchmarks and drivers that
+        hold an :class:`ExperimentConfig` can hand the parallel runner (and
+        through it the result store) a proper spec without re-deriving the
+        catalog entry.  ``overrides`` go to :meth:`scenario_config`.
+        """
+        return ScenarioSpec(
+            name=name,
+            description=description or f"ad-hoc experiment spec ({name})",
+            config=self.scenario_config(**overrides),
+            auctions=self.auctions,
+            drift_scale=self.drift_scale,
+            preliminary_runs=self.preliminary_runs,
+        )
+
 
 #: The scale of the paper's experimental market (catalog: ``paper-reference``).
 PAPER_SCALE = ExperimentConfig.from_scenario("paper-reference")

@@ -1,0 +1,326 @@
+"""Replicate statistics: mean / stddev / 95% CI per metric, and regression checks.
+
+The conventions, in one place (and spelled out for the docs):
+
+* **Replicates** are independent runs of one scenario under consecutive seeds.
+  Each replicate contributes one value per metric (see
+  :mod:`repro.results.metrics`).
+* **Mean and stddev** are the sample mean and the *sample* standard deviation
+  (Bessel-corrected, ``ddof=1``).  With a single replicate the stddev — and
+  therefore the CI — is undefined, not zero: both are reported as ``None``.
+* **95% confidence interval**: the classic t-interval
+  ``mean +/- t(n-1) * stddev / sqrt(n)``, with the two-sided 95% critical
+  value from Student's t for up to 30 degrees of freedom and the normal
+  1.960 beyond.  Zero-variance replicates yield a legitimate zero-width CI.
+* **Regression flagging** compares the candidate mean against the baseline
+  mean per metric.  The change is *significant* when it exceeds ``tolerance``
+  relative to the baseline magnitude (absolute, when the baseline mean is 0);
+  a significant change is a *regression* when it moves against the metric's
+  direction — or in any direction for ``neutral`` metrics.
+
+>>> stats = replicate_stats("demo", [1.0, 2.0, 3.0, 4.0, 5.0])
+>>> stats.mean, stats.count
+(3.0, 5)
+>>> round(stats.stddev, 6)   # sqrt(2.5)
+1.581139
+>>> round(stats.ci_half_width, 4)   # t(4)=2.776 x stddev/sqrt(5)
+1.9629
+>>> replicate_stats("one", [7.0]).ci95 is None
+True
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.results.metrics import METRIC_DIRECTIONS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.results.store import ResultStore
+
+#: Two-sided 95% critical values of Student's t by degrees of freedom.
+_T_CRITICAL_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+#: Normal approximation used beyond 30 degrees of freedom.
+_Z_CRITICAL_95 = 1.960
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% t critical value for ``df`` degrees of freedom.
+
+    >>> t_critical_95(4)
+    2.776
+    >>> t_critical_95(200)
+    1.96
+    """
+    if df < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    return _T_CRITICAL_95.get(df, _Z_CRITICAL_95)
+
+
+@dataclass(frozen=True)
+class ReplicateStats:
+    """Mean / stddev / 95% CI of one metric across a scenario's replicates."""
+
+    metric: str
+    count: int
+    mean: float
+    #: Sample standard deviation (``ddof=1``); ``None`` with one replicate.
+    stddev: float | None
+    #: Half-width of the 95% t-interval; ``None`` with one replicate.
+    ci_half_width: float | None
+
+    @property
+    def ci95(self) -> tuple[float, float] | None:
+        """The 95% confidence interval ``(low, high)``, if defined.
+
+        >>> replicate_stats("zero-var", [2.0, 2.0, 2.0]).ci95
+        (2.0, 2.0)
+        """
+        if self.ci_half_width is None:
+            return None
+        return (self.mean - self.ci_half_width, self.mean + self.ci_half_width)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "metric": self.metric,
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "ci95": list(self.ci95) if self.ci95 is not None else None,
+        }
+
+
+def replicate_stats(metric: str, values: Sequence[float]) -> ReplicateStats:
+    """Aggregate one metric's replicate values into :class:`ReplicateStats`.
+
+    >>> replicate_stats("demo", [1.0, 2.0, 3.0]).mean
+    2.0
+    >>> replicate_stats("demo", [1.0]).stddev is None
+    True
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError(f"metric {metric!r}: no replicate values to aggregate")
+    mean = statistics.fmean(values)
+    if len(values) < 2:
+        return ReplicateStats(metric=metric, count=1, mean=mean, stddev=None, ci_half_width=None)
+    stddev = statistics.stdev(values)
+    half = t_critical_95(len(values) - 1) * stddev / math.sqrt(len(values))
+    return ReplicateStats(
+        metric=metric, count=len(values), mean=mean, stddev=stddev, ci_half_width=half
+    )
+
+
+def aggregate_metrics(
+    metric_values: Mapping[str, Sequence[float]],
+) -> dict[str, ReplicateStats]:
+    """Aggregate every metric's replicate values (empty metrics are dropped).
+
+    >>> stats = aggregate_metrics({"a": [1.0, 3.0], "b": []})
+    >>> sorted(stats)
+    ['a']
+    >>> stats["a"].mean
+    2.0
+    """
+    return {
+        name: replicate_stats(name, values)
+        for name, values in metric_values.items()
+        if len(values) > 0
+    }
+
+
+def scenario_stats(
+    store: "ResultStore",
+    scenario: str,
+    *,
+    code_version: str | None = None,
+    engine: str | None = None,
+) -> dict[str, ReplicateStats]:
+    """Replicate statistics for one stored scenario (latest version by default)."""
+    return aggregate_metrics(
+        store.replicate_metrics(scenario, code_version=code_version, engine=engine)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Version-to-version comparison.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's baseline-vs-candidate verdict."""
+
+    metric: str
+    #: ``higher`` / ``lower`` / ``neutral`` (see :mod:`repro.results.metrics`).
+    direction: str
+    baseline: ReplicateStats
+    candidate: ReplicateStats
+    #: ``candidate.mean - baseline.mean``.
+    delta: float
+    #: Delta relative to ``|baseline.mean|``; ``None`` when the baseline mean is 0.
+    relative_change: float | None
+    #: The change exceeds the tolerance.
+    significant: bool
+    #: Significant *and* in the metric's bad direction (any, for neutral metrics).
+    regression: bool
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "metric": self.metric,
+            "direction": self.direction,
+            "baseline": self.baseline.to_dict(),
+            "candidate": self.candidate.to_dict(),
+            "delta": self.delta,
+            "relative_change": self.relative_change,
+            "significant": self.significant,
+            "regression": self.regression,
+        }
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Every metric's comparison between two labelled sets of replicates."""
+
+    baseline_label: str
+    candidate_label: str
+    tolerance: float
+    comparisons: tuple[MetricComparison, ...]
+    #: Metrics present on only one side (compared on neither).
+    missing_metrics: tuple[str, ...] = ()
+
+    @property
+    def regressions(self) -> tuple[MetricComparison, ...]:
+        """The comparisons flagged as regressions.
+
+        >>> report = compare_metrics({"m": [1.0, 1.0]}, {"m": [2.0, 2.0]},
+        ...                          directions={"m": "lower"})
+        >>> [c.metric for c in report.regressions]
+        ['m']
+        """
+        return tuple(c for c in self.comparisons if c.regression)
+
+    @property
+    def ok(self) -> bool:
+        """True when no metric regressed beyond the tolerance."""
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "baseline": self.baseline_label,
+            "candidate": self.candidate_label,
+            "tolerance": self.tolerance,
+            "comparisons": [c.to_dict() for c in self.comparisons],
+            "missing_metrics": list(self.missing_metrics),
+            "regressions": [c.metric for c in self.regressions],
+            "ok": self.ok,
+        }
+
+
+def compare_metrics(
+    baseline: Mapping[str, Sequence[float]],
+    candidate: Mapping[str, Sequence[float]],
+    *,
+    tolerance: float = 0.05,
+    directions: Mapping[str, str] | None = None,
+    baseline_label: str = "baseline",
+    candidate_label: str = "candidate",
+) -> ComparisonReport:
+    """Compare two sets of replicate metrics and flag regressions.
+
+    ``tolerance`` is the relative change (vs the baseline mean's magnitude)
+    a metric may move before it is significant; when the baseline mean is 0
+    the same number is applied to the absolute delta.  ``directions`` defaults
+    to :data:`repro.results.metrics.METRIC_DIRECTIONS`; unknown metrics are
+    treated as ``neutral`` (any significant change flags).
+
+    >>> report = compare_metrics({"total_revenue": [100.0, 102.0]},
+    ...                          {"total_revenue": [90.0, 92.0]})
+    >>> report.ok
+    False
+    >>> report.regressions[0].metric
+    'total_revenue'
+    >>> compare_metrics({"total_revenue": [100.0]}, {"total_revenue": [101.0]}).ok
+    True
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    directions = METRIC_DIRECTIONS if directions is None else directions
+    shared = [name for name in baseline if name in candidate]
+    missing = sorted(set(baseline).symmetric_difference(candidate))
+    comparisons = []
+    for name in shared:
+        base = replicate_stats(name, baseline[name])
+        cand = replicate_stats(name, candidate[name])
+        delta = cand.mean - base.mean
+        if base.mean == 0:
+            relative = None
+            significant = abs(delta) > tolerance
+        else:
+            relative = delta / abs(base.mean)
+            significant = abs(relative) > tolerance
+        direction = directions.get(name, "neutral")
+        regression = significant and (
+            (direction == "higher" and delta < 0)
+            or (direction == "lower" and delta > 0)
+            or direction == "neutral"
+        )
+        comparisons.append(
+            MetricComparison(
+                metric=name,
+                direction=direction,
+                baseline=base,
+                candidate=cand,
+                delta=delta,
+                relative_change=relative,
+                significant=significant,
+                regression=regression,
+            )
+        )
+    return ComparisonReport(
+        baseline_label=baseline_label,
+        candidate_label=candidate_label,
+        tolerance=tolerance,
+        comparisons=tuple(comparisons),
+        missing_metrics=tuple(missing),
+    )
+
+
+def compare_versions(
+    store: "ResultStore",
+    scenario: str,
+    *,
+    baseline_version: str,
+    candidate_version: str,
+    tolerance: float = 0.05,
+    engine: str | None = None,
+) -> ComparisonReport:
+    """Compare one scenario's replicates between two stored code versions."""
+    baseline = store.replicate_metrics(scenario, code_version=baseline_version, engine=engine)
+    candidate = store.replicate_metrics(scenario, code_version=candidate_version, engine=engine)
+    if not baseline:
+        raise ValueError(
+            f"no stored runs of {scenario!r} under baseline version {baseline_version!r}"
+        )
+    if not candidate:
+        raise ValueError(
+            f"no stored runs of {scenario!r} under candidate version {candidate_version!r}"
+        )
+    return compare_metrics(
+        baseline,
+        candidate,
+        tolerance=tolerance,
+        baseline_label=baseline_version,
+        candidate_label=candidate_version,
+    )

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.agents.population import PopulationSpec
 from repro.cluster.fleet_gen import FleetSpec, congested_fleet_spec, idle_fleet_spec
+from repro.cluster.resources import RESOURCE_TYPES
 from repro.simulation.scenario import Scenario, ScenarioConfig, build_scenario
 
 _NAME_RE = re.compile(r"^[a-z0-9][a-z0-9-]*$")
@@ -125,6 +126,20 @@ class ScenarioSpec:
     def build(self) -> Scenario:
         """Materialise the scenario: fleet, population, registered platform."""
         return build_scenario(self.config)
+
+    def cost_estimate(self) -> float:
+        """Relative runtime weight of this scenario (bidders x auctions x pools).
+
+        The estimate only has to *rank* scenarios: the parallel runner submits
+        the heaviest jobs first so a long-running stress scenario starts
+        immediately instead of serialising behind a queue of quick ones
+        (longest-job-first tightens the pool's makespan).
+
+        >>> get_scenario("10k-bidder-stress").cost_estimate() > get_scenario("smoke").cost_estimate()
+        True
+        """
+        pools = self.config.fleet.cluster_count * len(RESOURCE_TYPES)
+        return float(self.config.population.team_count * self.auctions * pools)
 
     def summary(self) -> dict[str, object]:
         """The scalar facts ``python -m repro list`` displays."""

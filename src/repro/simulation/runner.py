@@ -74,6 +74,12 @@ class ScenarioRunResult:
     settled_fraction: list[float]
     #: Clock rounds each binding auction took to clear.
     clearing_rounds: list[int]
+    #: Mean settled unit price across pools after each auction.
+    mean_clearing_price: list[float]
+    #: Net payments collected from winners in each auction (market revenue).
+    revenue: list[float]
+    #: Mean pool utilization after each auction.
+    mean_utilization: list[float]
     #: Std-dev of pool utilizations after each auction (migration flattens it).
     utilization_spread: list[float]
     #: Migration summary of the final auction.
@@ -105,6 +111,9 @@ class ScenarioRunResult:
             "mean_premium": self.mean_premium,
             "settled_fraction": self.settled_fraction,
             "clearing_rounds": self.clearing_rounds,
+            "mean_clearing_price": self.mean_clearing_price,
+            "revenue": self.revenue,
+            "mean_utilization": self.mean_utilization,
             "utilization_spread": self.utilization_spread,
             "migration": self.migration,
             "trade_count": self.trade_count,
@@ -129,6 +138,13 @@ class ScenarioRunResult:
             mean_premium=_round_list(p.mean_premium for p in history.premium_rows()),
             settled_fraction=_round_list(p.settled_fraction for p in history.periods),
             clearing_rounds=[p.record.rounds for p in history.periods],
+            mean_clearing_price=_round_list(
+                float(np.mean(list(p.record.prices.values()))) for p in history.periods
+            ),
+            revenue=_round_list(p.settlement.total_payments() for p in history.periods),
+            mean_utilization=_round_list(
+                float(np.mean(p.utilization_after)) for p in history.periods
+            ),
             utilization_spread=_round_list(history.utilization_spread_series()),
             migration={k: _round(v) for k, v in history.periods[-1].migration.items()},
             trade_count=len(history.all_trades()),
@@ -150,6 +166,25 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRunResult:
 def _run_job(spec: ScenarioSpec) -> ScenarioRunResult:
     """Process-pool entry point (module-level so it pickles under any start method)."""
     return run_scenario(spec)
+
+
+def longest_job_first(specs: Sequence[ScenarioSpec]) -> list[int]:
+    """Submission order for a process pool: heaviest scenario first.
+
+    Returns indices into ``specs`` sorted by descending
+    :meth:`~repro.simulation.catalog.ScenarioSpec.cost_estimate` (stable for
+    ties).  Submitting the longest jobs first tightens the pool's makespan: a
+    10k-bidder stress scenario starts on a worker immediately instead of
+    becoming the tail after every quick scenario has already finished.  The
+    *report* order is unaffected — results are always assembled in the
+    caller's submission order.
+
+    >>> from repro.simulation.catalog import get_scenario
+    >>> specs = [get_scenario("smoke"), get_scenario("10k-bidder-stress")]
+    >>> longest_job_first(specs)
+    [1, 0]
+    """
+    return sorted(range(len(specs)), key=lambda i: (-specs[i].cost_estimate(), i))
 
 
 @dataclass
@@ -234,14 +269,34 @@ class ParallelRunner:
         specs: Sequence[ScenarioSpec],
         *,
         on_result: Callable[[ScenarioRunResult], None] | None = None,
+        store=None,
+        code_version: str | None = None,
     ) -> SweepReport:
         """Run every spec; stream each finished result to ``on_result``.
 
         ``on_result`` fires once per spec as its run completes (completion
         order under a pool); the returned report is always in submission
-        order regardless of which worker finished first.
+        order regardless of which worker finished first.  Jobs are handed to
+        the pool in :func:`longest_job_first` order so heavyweight scenarios
+        never become the makespan tail.
+
+        ``store`` is an optional :class:`repro.results.ResultStore`: each
+        result is persisted as it lands, under ``code_version`` (derived from
+        the working tree when ``None`` — see
+        :func:`repro.results.default_code_version`).
         """
         specs = list(specs)
+        if store is not None:
+            from repro.results.store import default_code_version
+
+            version = code_version if code_version is not None else default_code_version()
+            inner = on_result
+
+            def on_result(result: ScenarioRunResult) -> None:  # noqa: F811 - chained callback
+                store.record(result, code_version=version)
+                if inner is not None:
+                    inner(result)
+
         if not specs:
             return SweepReport(results=())
         results: list[ScenarioRunResult | None] = [None] * len(specs)
@@ -268,6 +323,8 @@ class ParallelRunner:
         replicates: int,
         *,
         on_result: Callable[[ScenarioRunResult], None] | None = None,
+        store=None,
+        code_version: str | None = None,
     ) -> SweepReport:
         """Run ``replicates`` copies of one scenario under seeds ``seed+i``."""
         if replicates < 1:
@@ -275,7 +332,9 @@ class ParallelRunner:
         specs = [
             spec.with_overrides(seed=spec.config.seed + i) for i in range(replicates)
         ]
-        return self.run_specs(specs, on_result=on_result)
+        return self.run_specs(
+            specs, on_result=on_result, store=store, code_version=code_version
+        )
 
     # -- execution paths -----------------------------------------------------------------
     def _fill_from_pool(self, specs, workers, results, on_result) -> None:
@@ -283,8 +342,10 @@ class ParallelRunner:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {}
             try:
-                for i, spec in enumerate(specs):
-                    future = pool.submit(_run_job, spec)
+                # Heaviest jobs first: queue position decides makespan, the
+                # ``results`` slot index keeps the report in submission order.
+                for i in longest_job_first(specs):
+                    future = pool.submit(_run_job, specs[i])
                     pending[future] = i
                 while pending:
                     done, _ = wait(list(pending), return_when=FIRST_COMPLETED)

@@ -16,6 +16,59 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+@pytest.fixture
+def fake_run_result():
+    """Factory for a hand-built ScenarioRunResult (no economy run).
+
+    Shared by the result-store and CLI suites so injected runs (e.g. a
+    deliberately degraded revenue for regression tests) come from one
+    place that tracks the ScenarioRunResult field list.
+    """
+    from repro.simulation.runner import ScenarioRunResult
+
+    def build(
+        scenario="tiny",
+        seed=0,
+        engine="auto",
+        trade_count=5,
+        revenue=(100.0, 140.0),
+    ):
+        return ScenarioRunResult(
+            scenario=scenario,
+            seed=seed,
+            engine=engine,
+            auctions=2,
+            clusters=1,
+            pools=3,
+            teams=2,
+            median_premium=[1.4, 1.1],
+            mean_premium=[1.5, 1.2],
+            settled_fraction=[0.5, 0.7],
+            clearing_rounds=[4, 2],
+            mean_clearing_price=[2.0, 3.0],
+            revenue=list(revenue),
+            mean_utilization=[0.5, 0.6],
+            utilization_spread=[0.2, 0.1],
+            migration={},
+            trade_count=trade_count,
+        )
+
+    return build
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    """Point the persistent result store at a per-test temp file.
+
+    ``python -m repro run/sweep`` records into the store by default; without
+    this, CLI tests would write ``repro_results.sqlite`` into the working
+    directory.  Pinning the code version keeps stored keys deterministic
+    (no git subprocess per record).
+    """
+    monkeypatch.setenv("REPRO_RESULTS_DB", str(tmp_path / "results.sqlite"))
+    monkeypatch.setenv("REPRO_CODE_VERSION", "test-version")
+
+
 def build_pool_index(
     cluster_utils: dict[str, float] | None = None,
     *,

@@ -4,8 +4,9 @@ The documentation promise of this repo is that every example in a core,
 bidlang, cluster, or simulation docstring actually runs; this test executes
 them all with :mod:`doctest` so an API change that breaks an example breaks
 the tier-1 suite, not just the rendered docs.  The simulation sweep covers
-the scenario catalog and parallel runner modules, and :mod:`repro.cli` is
-included explicitly so the ``python -m repro`` examples stay honest.
+the scenario catalog and parallel runner modules; :mod:`repro.results`
+(the persistent result store and replicate statistics) and :mod:`repro.cli`
+are included so the ``python -m repro`` and store examples stay honest.
 """
 
 import doctest
@@ -17,6 +18,7 @@ import pytest
 import repro.bidlang
 import repro.cluster
 import repro.core
+import repro.results
 import repro.simulation
 
 
@@ -33,6 +35,7 @@ MODULES = sorted(
         + _modules_of(repro.bidlang)
         + _modules_of(repro.cluster)
         + _modules_of(repro.simulation)
+        + _modules_of(repro.results)
         + ["repro.cli"]
     )
 )

@@ -4,8 +4,12 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_REGRESSION, build_parser, main
+from repro.results.store import ResultStore
 from repro.simulation.catalog import default_sweep_names
+
+# Injected stored runs come from the shared ``fake_run_result`` factory
+# fixture in tests/conftest.py (no economies run for the results-verb tests).
 
 
 class TestParser:
@@ -85,3 +89,171 @@ class TestSweep:
     def test_zero_replicates_rejected(self, capsys):
         assert main(["run", "smoke", "--replicates", "0"]) == 2
         assert "--replicates" in capsys.readouterr().err
+
+
+class TestStorePersistence:
+    def test_run_persists_replicates_to_the_store(self, tmp_path, capsys):
+        db = tmp_path / "store.sqlite"
+        assert main(["run", "smoke", "--workers", "1", "--auctions", "1",
+                     "--replicates", "2", "--db", str(db)]) == 0
+        assert "2 run(s) recorded" in capsys.readouterr().err
+        with ResultStore(db) as store:
+            assert len(store) == 2
+            assert [r.seed for r in store.runs()] == [2009, 2010]
+            assert store.code_versions() == ["test-version"]  # pinned in conftest
+
+    def test_run_defaults_to_env_store(self, tmp_path, monkeypatch):
+        db = tmp_path / "env-store.sqlite"
+        monkeypatch.setenv("REPRO_RESULTS_DB", str(db))
+        assert main(["run", "smoke", "--workers", "1", "--auctions", "1"]) == 0
+        assert db.exists()
+
+    def test_no_store_skips_persistence(self, tmp_path, capsys):
+        db = tmp_path / "store.sqlite"
+        assert main(["run", "smoke", "--workers", "1", "--auctions", "1",
+                     "--no-store", "--db", str(db)]) == 0
+        assert not db.exists()
+        assert "recorded" not in capsys.readouterr().err
+
+    def test_sweep_persists_under_explicit_code_version(self, tmp_path):
+        db = tmp_path / "store.sqlite"
+        assert main(["sweep", "smoke", "--workers", "1", "--auctions", "1",
+                     "--db", str(db), "--code-version", "pr-42"]) == 0
+        with ResultStore(db) as store:
+            assert store.code_versions() == ["pr-42"]
+
+
+class TestResultsVerbs:
+    def seeded_db(self, tmp_path, fake_run_result):
+        """Two code versions: v2 degrades revenue by ~50% vs v1."""
+        db = tmp_path / "store.sqlite"
+        with ResultStore(db) as store:
+            for seed in (0, 1, 2):
+                store.record(fake_run_result(scenario="smoke", seed=seed), code_version="v1")
+                store.record(
+                    fake_run_result(scenario="smoke", seed=seed, revenue=(50.0, 70.0)),
+                    code_version="v2",
+                )
+        return db
+
+    def test_list_shows_stored_groups(self, tmp_path, capsys, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["results", "list", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "v1" in out and "v2" in out
+
+    def test_list_json(self, tmp_path, capsys, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["results", "list", "--db", str(db), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["code_version"] for row in rows} == {"v1", "v2"}
+        assert all(row["replicates"] == 3 for row in rows)
+
+    def test_list_empty_store(self, tmp_path, capsys):
+        assert main(["results", "list", "--db", str(tmp_path / "empty.sqlite")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_show_prints_mean_and_ci_per_metric(self, tmp_path, capsys, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["results", "show", "smoke", "--db", str(db),
+                     "--code-version", "v1"]) == 0
+        out = capsys.readouterr().out
+        assert "total_revenue" in out
+        assert "95% CI" in out
+        assert "3" in out  # replicate count
+
+    def test_show_json_has_ci_bounds(self, tmp_path, capsys, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["results", "show", "smoke", "--db", str(db), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["code_version"] == "v2"  # latest by default
+        revenue = payload["metrics"]["total_revenue"]
+        assert revenue["count"] == 3
+        assert revenue["ci95"] == [revenue["mean"], revenue["mean"]]  # zero variance
+
+    def test_show_unknown_scenario_exits_2(self, tmp_path, capsys, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["results", "show", "no-such", "--db", str(db)]) == 2
+        assert "no stored runs" in capsys.readouterr().err
+
+    def test_show_mixed_engines_exits_2(self, tmp_path, capsys, fake_run_result):
+        db = tmp_path / "store.sqlite"
+        with ResultStore(db) as store:
+            store.record(fake_run_result(scenario="smoke", engine="scalar"), code_version="v1")
+            store.record(fake_run_result(scenario="smoke", engine="batch"), code_version="v1")
+        assert main(["results", "show", "smoke", "--db", str(db)]) == 2
+        assert "span engines" in capsys.readouterr().err
+        assert main(["results", "show", "smoke", "--db", str(db),
+                     "--engine", "batch"]) == 0
+
+    def test_compare_flags_injected_regression_with_exit_3(self, tmp_path, capsys, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        code = main(["results", "compare", "smoke", "--db", str(db),
+                     "--baseline", "v1", "--candidate", "v2"])
+        assert code == EXIT_REGRESSION == 3
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "total_revenue" in captured.err
+
+    def test_compare_defaults_to_latest_two_versions(self, tmp_path, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["results", "compare", "smoke", "--db", str(db)]) == EXIT_REGRESSION
+
+    def test_compare_with_older_candidate_takes_baseline_before_it(
+        self, tmp_path, capsys, fake_run_result
+    ):
+        db = tmp_path / "store.sqlite"
+        with ResultStore(db) as store:
+            for version, revenue in (("v1", 100.0), ("v2", 150.0), ("v3", 200.0)):
+                store.record(
+                    fake_run_result(scenario="smoke", revenue=(revenue, revenue)),
+                    code_version=version,
+                )
+        # candidate=v2 must compare v1 -> v2 (forward in time), not v3 -> v2:
+        # revenue rose v1 -> v2, so a forward comparison is clean.
+        assert main(["results", "compare", "smoke", "--db", str(db),
+                     "--candidate", "v2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"] == "v1"
+
+    def test_compare_oldest_candidate_has_no_default_baseline(
+        self, tmp_path, capsys, fake_run_result
+    ):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["results", "compare", "smoke", "--db", str(db),
+                     "--candidate", "v1"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_compare_identical_versions_exits_0(self, tmp_path, capsys, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["results", "compare", "smoke", "--db", str(db),
+                     "--baseline", "v1", "--candidate", "v1"]) == 0
+        assert "REGRESSION" not in capsys.readouterr().err
+
+    def test_compare_json_reports_ok_flag(self, tmp_path, capsys, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["results", "compare", "smoke", "--db", str(db),
+                     "--baseline", "v1", "--candidate", "v2", "--json"]) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "total_revenue" in payload["regressions"]
+
+    def test_compare_single_version_needs_explicit_baseline(
+        self, tmp_path, capsys, fake_run_result
+    ):
+        db = tmp_path / "store.sqlite"
+        with ResultStore(db) as store:
+            store.record(fake_run_result(scenario="smoke"), code_version="only")
+        assert main(["results", "compare", "smoke", "--db", str(db)]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_run_then_show_round_trip(self, tmp_path, capsys):
+        """The acceptance path: run with replicates, then show mean/CI."""
+        db = tmp_path / "store.sqlite"
+        assert main(["run", "smoke", "--workers", "1", "--auctions", "1",
+                     "--replicates", "2", "--db", str(db)]) == 0
+        capsys.readouterr()
+        assert main(["results", "show", "smoke", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "smoke @ test-version (2 replicate(s))" in out
+        assert "mean_settled_fraction" in out

@@ -6,11 +6,12 @@ import pytest
 
 from repro.agents.population import PopulationSpec
 from repro.cluster.fleet_gen import FleetSpec
-from repro.simulation.catalog import ScenarioSpec, get_scenario
+from repro.simulation.catalog import ScenarioSpec, get_scenario, scenario_names
 from repro.simulation.runner import (
     ParallelRunner,
     ScenarioRunResult,
     SweepReport,
+    longest_job_first,
     run_scenario,
 )
 from repro.simulation.scenario import ScenarioConfig
@@ -36,8 +37,15 @@ class TestRunScenario:
         assert len(result.median_premium) == 2
         assert len(result.clearing_rounds) == 2
         assert len(result.utilization_spread) == 2
+        assert len(result.mean_clearing_price) == 2
+        assert len(result.revenue) == 2
+        assert len(result.mean_utilization) == 2
         assert result.teams == 6
         assert result.pools == 9  # 3 clusters x 3 resource dimensions
+
+    def test_store_metrics_are_in_the_canonical_report(self):
+        payload = run_scenario(tiny_spec()).to_dict()
+        assert {"mean_clearing_price", "revenue", "mean_utilization"} <= set(payload)
 
     def test_result_dict_round_trips_through_json(self):
         result = run_scenario(tiny_spec())
@@ -113,6 +121,54 @@ class TestParallelRunner:
         )
         with pytest.raises(RuntimeError, match="will-fail"):
             ParallelRunner(workers=1).run_specs([bad])
+
+
+class TestLongestJobFirst:
+    def test_full_catalog_submits_stress_before_smoke(self):
+        specs = [get_scenario(name) for name in scenario_names()]
+        order = longest_job_first(specs)
+        names = [specs[i].name for i in order]
+        assert names.index("10k-bidder-stress") == 0  # heaviest scenario leads
+        assert names.index("10k-bidder-stress") < names.index("smoke")
+        assert names[-1] == "smoke"  # lightest scenario trails
+
+    def test_order_is_a_permutation_and_stable_for_ties(self):
+        specs = [tiny_spec(f"tiny-{i}", seed=i) for i in range(4)]  # equal costs
+        assert longest_job_first(specs) == [0, 1, 2, 3]
+
+    def test_pool_submission_uses_longest_job_first(self, monkeypatch):
+        """The pool path hands jobs to the executor in cost order, while the
+        report stays in submission order."""
+        import repro.simulation.runner as runner_mod
+        from concurrent.futures import Future
+
+        submitted: list[str] = []
+
+        class FakeExecutor:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, spec):
+                submitted.append(spec.name)
+                future = Future()
+                future.set_result(fn(spec))
+                return future
+
+            def shutdown(self, **kwargs):
+                pass
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", FakeExecutor)
+        small = tiny_spec("small", seed=1, auctions=1)
+        big = tiny_spec("big", seed=2, auctions=3)  # 3x the cost estimate
+        report = ParallelRunner(workers=2).run_specs([small, big])
+        assert submitted == ["big", "small"]
+        assert [r.scenario for r in report.results] == ["small", "big"]
 
 
 class TestSweepReport:
