@@ -9,7 +9,7 @@ test:
 
 ## run every docstring example in the documented packages
 doctest:
-	$(PYTHON) -m pytest --doctest-modules src/repro/core src/repro/bidlang src/repro/cluster src/repro/simulation src/repro/results src/repro/cli.py -q
+	$(PYTHON) -m pytest --doctest-modules src/repro/core src/repro/bidlang src/repro/cluster src/repro/simulation src/repro/results src/repro/mechanisms src/repro/cli.py -q
 
 ## paper-scale benchmarks (regenerates the paper's tables/figures)
 bench:
@@ -20,12 +20,16 @@ bench-smoke:
 	REPRO_BENCH_SCALE=test $(PYTHON) -m pytest benchmarks -q
 
 ## scenario CLI + quickstart example smoke runs (docs/examples can't rot);
-## the run persists into the result store, which `results show` then reads
-## back (CI uploads the store file as a workflow artifact)
+## the runs persist into the result store — market and one baseline, so the
+## mechanism comparison verbs have two mechanisms to diff — and `results
+## show` / `compare-mechanisms` read it back (CI uploads the store file as a
+## workflow artifact and gates the next PR against it)
 smoke:
 	$(PYTHON) -m repro run paper-reference --workers 1
+	$(PYTHON) -m repro run paper-reference --workers 1 --mechanism fixed-price
 	$(PYTHON) -m repro results list
-	$(PYTHON) -m repro results show paper-reference
+	$(PYTHON) -m repro results show paper-reference --mechanism market
+	$(PYTHON) -m repro compare-mechanisms paper-reference
 	$(PYTHON) examples/quickstart.py
 
 ## everything CI runs

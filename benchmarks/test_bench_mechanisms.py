@@ -1,0 +1,106 @@
+"""Benchmark E-MECH: baseline mechanisms vs the market on paper-reference.
+
+The point of the allocation-mechanism layer is that baseline policies ride the
+same scenario/runner/store pipeline as the market — and that doing so is
+nearly free.  A baseline epoch is one allocator pass over the request list;
+a market auction iterates clock rounds of demand collection until no pool is
+over-demanded.  This benchmark times every registered mechanism's
+``simulate`` phase on the ``paper-reference`` scenario — fleet generation is
+mechanism-independent and excluded, each trial gets a freshly built scenario
+off the clock — and asserts each baseline runs at least **5x faster** than
+the market (they skip price discovery entirely).  At full scale the
+measurements are appended to ``BENCH_mechanisms.json`` at the repository
+root so the trajectory is tracked across PRs.
+
+Set ``REPRO_BENCH_SCALE=test`` (as for every other benchmark) to run a
+reduced variant that skips the JSON recording and the speedup bar: at smoke
+scale both sides finish in milliseconds and the ratio measures interpreter
+noise, not the mechanisms.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_section
+
+from repro.mechanisms import baseline_mechanism_names, get_mechanism, mechanism_names
+from repro.simulation.catalog import get_scenario
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_mechanisms.json"
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper").lower() != "test"
+TRIALS = 2
+
+#: Every baseline must be at least this much faster than the market: no clock
+#: rounds, no bid trees, no settlement — one allocator pass per epoch.
+MIN_SPEEDUP = 5.0
+
+
+def bench_spec(mechanism: str):
+    spec = get_scenario("paper-reference").with_overrides(mechanism=mechanism)
+    if not FULL_SCALE:
+        spec = spec.with_overrides(auctions=1)
+    return spec
+
+
+def best_seconds(mechanism: str) -> float:
+    best = float("inf")
+    for _ in range(TRIALS):
+        spec = bench_spec(mechanism)
+        scenario = spec.build()  # mechanism-independent, kept off the clock
+        start = time.perf_counter()
+        result = get_mechanism(mechanism).simulate(scenario, spec)
+        elapsed = time.perf_counter() - start
+        assert result.mechanism == mechanism
+        assert result.auctions == spec.auctions
+        best = min(best, elapsed)
+    return best
+
+
+def test_baselines_run_5x_faster_than_the_market(benchmark):
+    seconds: dict[str, float] = {}
+
+    def run_trials():
+        for mechanism in mechanism_names():
+            seconds[mechanism] = best_seconds(mechanism)
+        return seconds
+
+    benchmark.pedantic(run_trials, rounds=1, iterations=1)
+
+    market = seconds["market"]
+    print_section("Allocation mechanisms on paper-reference (best of 2 runs)")
+    print(f"{'mechanism':<14} {'seconds':>9} {'speedup vs market':>18}")
+    for mechanism in mechanism_names():
+        speedup = market / seconds[mechanism] if seconds[mechanism] > 0 else float("inf")
+        print(f"{mechanism:<14} {seconds[mechanism]:>9.4f} {speedup:>17.1f}x")
+
+    if FULL_SCALE:
+        history = []
+        if BENCH_JSON.exists():
+            history = json.loads(BENCH_JSON.read_text())
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+        if history and history[-1]["recorded_at"][:10] == stamp[:10]:
+            history.pop()
+        history.append(
+            {
+                "recorded_at": stamp,
+                "scenario": "paper-reference",
+                "seconds": {name: seconds[name] for name in mechanism_names()},
+                "speedup_vs_market": {
+                    name: (market / seconds[name]) if seconds[name] > 0 else None
+                    for name in baseline_mechanism_names()
+                },
+            }
+        )
+        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+
+        for name in baseline_mechanism_names():
+            assert seconds[name] * MIN_SPEEDUP <= market, (
+                f"{name} took {seconds[name]:.3f}s vs market {market:.3f}s — "
+                f"less than the {MIN_SPEEDUP:.0f}x bar for a mechanism with no "
+                "price discovery"
+            )

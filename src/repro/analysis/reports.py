@@ -7,7 +7,11 @@ from typing import Mapping, Sequence
 from repro.analysis.boxplot import BoxplotStats
 from repro.analysis.premium import PremiumStats
 from repro.analysis.price_ratio import PriceRatioRow
-from repro.results.stats import ComparisonReport, ReplicateStats
+from repro.results.stats import (
+    ComparisonReport,
+    MechanismComparisonReport,
+    ReplicateStats,
+)
 
 
 def render_table(
@@ -109,6 +113,44 @@ def render_metric_comparisons(report: ComparisonReport, *, title: str | None = N
             + ", ".join(report.missing_metrics)
             + ")"
         )
+    return table
+
+
+def render_mechanism_comparison(
+    report: MechanismComparisonReport, *, title: str | None = None
+) -> str:
+    """Render a cross-mechanism comparison (what ``compare-mechanisms`` prints).
+
+    One row per (metric, mechanism) with the replicate mean and 95% CI; the
+    direction-aware leader of each metric is marked in the verdict column.
+    The trailing summary line names the metrics where the market leads every
+    baseline — the paper's qualitative market-vs-tradition claim, read
+    straight off the store.
+    """
+    rows = []
+    for metric, stats in report.metric_stats.items():
+        best = report.best(metric)
+        for name in report.mechanisms:
+            s = stats[name]
+            ci = f"[{s.ci95[0]:.4f}, {s.ci95[1]:.4f}]" if s.ci95 is not None else "-"
+            verdict = "best" if name == best else ""
+            rows.append(
+                [metric, name, s.count, s.mean, ci, report.directions[metric], verdict]
+            )
+    header = (
+        title
+        if title is not None
+        else f"{report.scenario} @ {report.code_version}: mechanisms "
+        + " vs ".join(report.mechanisms)
+    )
+    table = render_table(
+        ["Metric", "Mechanism", "n", "Mean", "95% CI", "Dir", "Verdict"],
+        rows,
+        title=header,
+    )
+    market_wins = [m for m in report.metric_stats if report.market_leads(m)]
+    if "market" in report.mechanisms:
+        table += "\n\nmarket leads on: " + (", ".join(market_wins) if market_wins else "(none)")
     return table
 
 

@@ -6,6 +6,16 @@ evens out utilization across pools.  This module computes the metrics behind
 that claim for any :class:`~repro.baselines.requests.AllocationOutcome`
 (baseline policies) or market :class:`~repro.core.settlement.Settlement`, so
 the benchmark harness can put them side by side.
+
+Two complementary families of measures live here:
+
+* **Team-level coverage** (:func:`allocation_metrics`): how much of each
+  team's cost-weighted request was granted, anywhere in the fleet — the
+  fairness/satisfaction view.
+* **Pool-level imbalance** (:func:`utilization_imbalance`): the paper's
+  literal complaint — "uneven utilization, significant shortages and
+  surpluses in *certain resource pools*" — measured as capacity overcommitted
+  beyond safe headroom (shortage) and capacity stranded idle (surplus).
 """
 
 from __future__ import annotations
@@ -19,6 +29,47 @@ from repro.baselines.requests import AllocationOutcome, QuotaRequest
 from repro.cluster.pools import PoolIndex
 from repro.cluster.utilization import utilization_spread
 from repro.core.settlement import Settlement
+
+#: Utilization above which a pool counts as *short*: allocation policies that
+#: keep piling load onto an already-hot pool leave it without headroom for
+#: spikes or failover.  At 0.90 the paper's phi_1 reserve weighting prices the
+#: pool at e^{2(0.9-0.5)} ~ 2.2x cost — deep in the "expensive" zone the
+#: market uses to repel exactly this overcommitment.
+SHORTAGE_UTILIZATION = 0.90
+
+#: Utilization below which a pool counts as *surplus*: capacity bought and
+#: racked but left stranded because no allocation steers demand there.  At
+#: 0.30 the phi_1 weighting prices the pool *below* cost (e^{-0.4} ~ 0.67x) —
+#: the market's explicit invitation to migrate in.
+SURPLUS_UTILIZATION = 0.30
+
+
+def utilization_imbalance(
+    index: PoolIndex,
+    utilizations: np.ndarray | None = None,
+    *,
+    shortage_threshold: float = SHORTAGE_UTILIZATION,
+    surplus_threshold: float = SURPLUS_UTILIZATION,
+) -> tuple[float, float]:
+    """Cost-weighted (shortage, surplus) capacity of a fleet state.
+
+    Shortage is the capacity committed beyond ``shortage_threshold`` across
+    pools (hot pools running without headroom); surplus is the capacity idle
+    below ``surplus_threshold`` (cold pools nobody steers demand to).  Both
+    are weighted by unit cost so a congested CPU pool is not drowned out by
+    disk's larger raw numbers.  ``utilizations`` overrides the index's own
+    utilization vector (useful for replaying recorded trajectories).
+
+    A mechanism that relocates demand from hot to cold pools — the market's
+    defining behaviour (Figure 7) — shrinks *both* numbers; a policy that
+    grants demand wherever it happens to land (FCFS, priority, proportional
+    share) piles load onto hot pools while cold ones stay stranded.
+    """
+    utils = index.utilizations() if utilizations is None else np.asarray(utilizations, dtype=float)
+    weighted_caps = index.capacities() * index.unit_costs()
+    shortage = float(np.dot(np.clip(utils - shortage_threshold, 0.0, None), weighted_caps))
+    surplus = float(np.dot(np.clip(surplus_threshold - utils, 0.0, None), weighted_caps))
+    return shortage, surplus
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,6 @@
 """``python -m repro`` — run catalog scenarios from the command line.
 
-Four subcommands:
+Five subcommands:
 
 ``list``
     Show every scenario in the catalog (name, scale, tags, description).
@@ -9,29 +9,45 @@ Four subcommands:
     parallel) and print its trajectory report.
 ``sweep``
     Run a batch of scenarios across a process pool and print the aggregate
-    cross-scenario report.
+    cross-scenario report.  ``--mechanism`` crosses the selection with
+    allocation mechanisms (``market``, ``fixed-price``, ``priority``,
+    ``proportional``, a comma list, or ``all``).
+``compare-mechanisms``
+    Compare one scenario's stored replicates across allocation mechanisms:
+    mean / 95% CI per metric per mechanism, with a direction-aware leader
+    verdict (the paper's market-vs-tradition claim, read off the store).
 ``results``
     Inspect the persistent result store: ``results list`` (what is stored),
     ``results show`` (mean / 95% CI per metric across replicates), and
     ``results compare`` (diff two code versions and flag regressions —
-    exits with code 3 when a metric regressed beyond the tolerance).
+    exits with code 3 when a metric regressed beyond the tolerance;
+    ``--across mechanisms`` switches to the mechanism comparison above, and
+    ``--baseline-db`` reads the baseline side from another store file, which
+    is how CI gates a PR against the previous build's artifact).
 
 ``run`` and ``sweep`` persist every finished run into the sqlite result
 store (``--db``, default ``./repro_results.sqlite`` or ``$REPRO_RESULTS_DB``)
-keyed by ``(scenario, seed, code_version, engine)``; pass ``--no-store`` to
-skip.  ``--json`` switches stdout from human-readable tables to the runner's
-canonical JSON report, which is byte-identical for any ``--workers`` value;
-progress and timing always go to stderr so they never pollute the artifact.
+keyed by ``(scenario, seed, code_version, engine, mechanism)``; pass
+``--no-store`` to skip.  ``--json`` switches stdout from human-readable
+tables to the runner's canonical JSON report, which is byte-identical for
+any ``--workers`` value; progress and timing always go to stderr so they
+never pollute the artifact.
 
 >>> from repro.cli import build_parser
 >>> build_parser().parse_args(["run", "smoke", "--workers", "2"]).workers
 2
 >>> build_parser().parse_args(["sweep", "--all"]).all
 True
+>>> build_parser().parse_args(["sweep", "--mechanism", "all"]).mechanism
+'all'
+>>> build_parser().parse_args(["compare-mechanisms", "smoke"]).scenario
+'smoke'
 >>> build_parser().parse_args(["results", "show", "smoke"]).scenario
 'smoke'
 >>> build_parser().parse_args(["results", "compare", "smoke", "--tolerance", "0.1"]).tolerance
 0.1
+>>> build_parser().parse_args(["results", "compare", "smoke", "--across", "mechanisms"]).across
+'mechanisms'
 """
 
 from __future__ import annotations
@@ -81,6 +97,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="include stress-tagged scenarios too")
     _add_run_options(sweep_cmd)
 
+    cmp_mech = sub.add_parser(
+        "compare-mechanisms",
+        help="compare one scenario's stored replicates across allocation mechanisms")
+    cmp_mech.add_argument("scenario", help="stored scenario name")
+    _add_store_options(cmp_mech)
+    cmp_mech.add_argument("--mechanisms", default=None, metavar="M1,M2,...",
+                          help="mechanisms to compare (default: every one stored)")
+    cmp_mech.add_argument("--code-version", default=None, metavar="V",
+                          help="which recorded code version (default: the latest)")
+    cmp_mech.add_argument("--engine", default=None, help="restrict to one demand engine")
+    cmp_mech.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
     results_cmd = sub.add_parser("results", help="inspect the persistent result store")
     results_sub = results_cmd.add_subparsers(dest="results_command", required=True)
 
@@ -94,19 +122,30 @@ def build_parser() -> argparse.ArgumentParser:
     r_show.add_argument("--code-version", default=None, metavar="V",
                         help="which recorded code version (default: the latest)")
     r_show.add_argument("--engine", default=None, help="restrict to one demand engine")
+    r_show.add_argument("--mechanism", default=None,
+                        help="restrict to one allocation mechanism")
     r_show.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     r_cmp = results_sub.add_parser(
         "compare", help="diff two code versions; exit 3 on metric regressions")
     r_cmp.add_argument("scenario", help="stored scenario name")
     _add_store_options(r_cmp)
+    r_cmp.add_argument("--across", choices=("versions", "mechanisms"), default="versions",
+                       help="compare code versions (default) or allocation mechanisms")
     r_cmp.add_argument("--baseline", default=None, metavar="V",
                        help="baseline code version (default: second-newest recorded)")
     r_cmp.add_argument("--candidate", default=None, metavar="V",
                        help="candidate code version (default: newest recorded)")
-    r_cmp.add_argument("--tolerance", type=float, default=0.05, metavar="FRAC",
+    r_cmp.add_argument("--baseline-db", type=Path, default=None, metavar="FILE",
+                       help="read the baseline side from this store file instead "
+                            "(cross-PR CI gate; default baseline: its newest version)")
+    r_cmp.add_argument("--tolerance", type=float, default=None, metavar="FRAC",
                        help="relative change a metric may move before it flags (default 0.05)")
     r_cmp.add_argument("--engine", default=None, help="restrict to one demand engine")
+    r_cmp.add_argument("--mechanism", default=None,
+                       help="versions mode: restrict to one allocation mechanism; "
+                            "mechanisms mode: comma list of mechanisms to compare "
+                            "(default: every one stored)")
     r_cmp.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     return parser
 
@@ -119,6 +158,10 @@ def _add_run_options(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--seed", type=int, default=None, help="override the scenario's seed")
     cmd.add_argument("--engine", choices=("auto", "scalar", "batch"), default=None,
                      help="override the demand-collection engine")
+    cmd.add_argument("--mechanism", default=None, metavar="M",
+                     help="allocation mechanism(s): a name, a comma list, or 'all' "
+                          "(default: each scenario's own, normally 'market'); "
+                          "multiple names cross the scenario selection")
     cmd.add_argument("--json", action="store_true",
                      help="emit the canonical JSON report on stdout")
     cmd.add_argument("--out", type=Path, default=None, metavar="FILE",
@@ -158,6 +201,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "compare-mechanisms":
+            return _cmd_compare_mechanisms(args)
         return _cmd_results(args)
     except _UsageError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -212,9 +257,22 @@ def _overrides(args: argparse.Namespace) -> dict[str, object]:
     return overrides
 
 
+def _mechanisms(args: argparse.Namespace) -> list[str] | None:
+    """The validated mechanism names of ``--mechanism``, or None when unset."""
+    if args.mechanism is None:
+        return None
+    from repro.mechanisms import resolve_mechanisms
+
+    try:
+        return resolve_mechanisms(args.mechanism)
+    except (KeyError, ValueError) as error:
+        raise _UsageError(error.args[0]) from None
+
+
 def _progress(result: ScenarioRunResult) -> None:
+    label = f" [{result.mechanism}]" if result.mechanism != "market" else ""
     print(
-        f"  done: {result.scenario} (seed {result.seed}) — "
+        f"  done: {result.scenario}{label} (seed {result.seed}) — "
         f"{result.auctions} auctions, {result.trade_count} trades, "
         f"median premium {result.median_premium[0]:.3f} -> {result.median_premium[-1]:.3f}",
         file=sys.stderr,
@@ -236,8 +294,8 @@ def _emit(report: SweepReport, args: argparse.Namespace, elapsed: float, workers
 
 def _print_text_report(report: SweepReport) -> None:
     header = (
-        f"{'scenario':<22} {'teams':>6} {'pools':>6} {'auctions':>8} {'rounds':>7} "
-        f"{'trades':>7} {'premium first->last':>20} {'util spread':>12}"
+        f"{'scenario':<22} {'mechanism':<12} {'teams':>6} {'pools':>6} {'auctions':>8} "
+        f"{'rounds':>7} {'trades':>7} {'premium first->last':>20} {'util spread':>12}"
     )
     print(header)
     print("-" * len(header))
@@ -246,8 +304,8 @@ def _print_text_report(report: SweepReport) -> None:
         premium = f"{r.median_premium[0]:.3f} -> {r.median_premium[-1]:.3f}"
         spread = f"{r.utilization_spread_change:+.3f}"
         print(
-            f"{r.scenario:<22} {r.teams:>6} {r.pools:>6} {r.auctions:>8} {rounds:>7} "
-            f"{r.trade_count:>7} {premium:>20} {spread:>12}"
+            f"{r.scenario:<22} {r.mechanism:<12} {r.teams:>6} {r.pools:>6} {r.auctions:>8} "
+            f"{rounds:>7} {r.trade_count:>7} {premium:>20} {spread:>12}"
         )
     aggregate = report.aggregate()
     print()
@@ -279,14 +337,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.replicates < 1:
         raise _UsageError("--replicates must be >= 1")
     spec = _get_spec(args.scenario).with_overrides(**_overrides(args))
+    mechanisms = _mechanisms(args)
     runner = ParallelRunner(workers=args.workers)
     store, version = _store_for(args)
     start = time.perf_counter()
     try:
-        # replicates=1 runs the spec under its own seed (seed + 0).
-        report = runner.run_replicates(
-            spec, args.replicates, on_result=_progress, store=store, code_version=version
-        )
+        if mechanisms is None or len(mechanisms) == 1:
+            if mechanisms is not None:
+                spec = spec.with_overrides(mechanism=mechanisms[0])
+            # replicates=1 runs the spec under its own seed (seed + 0).
+            report = runner.run_replicates(
+                spec, args.replicates, on_result=_progress, store=store, code_version=version
+            )
+        else:
+            # mechanism x replicate cross product, mechanism-major.
+            specs = [
+                spec.with_overrides(mechanism=mechanism, seed=spec.config.seed + i)
+                for mechanism in mechanisms
+                for i in range(args.replicates)
+            ]
+            report = runner.run_specs(
+                specs, on_result=_progress, store=store, code_version=version
+            )
         if store is not None:
             _record_note(report, store, version)
     finally:
@@ -302,7 +374,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     names = args.scenarios or (scenario_names() if args.all else default_sweep_names())
     overrides = _overrides(args)
     specs = [_get_spec(name).with_overrides(**overrides) for name in names]
-    print(f"sweeping {len(specs)} scenario(s): {', '.join(s.name for s in specs)}", file=sys.stderr)
+    mechanisms = _mechanisms(args)
+    if mechanisms is not None:
+        from repro.simulation.runner import expand_mechanisms
+
+        specs = expand_mechanisms(specs, mechanisms)
+    label = f" x {len(mechanisms)} mechanism(s)" if mechanisms and len(mechanisms) > 1 else ""
+    print(
+        f"sweeping {len(specs)} job(s){label}: "
+        + ", ".join(sorted({s.name for s in specs})),
+        file=sys.stderr,
+    )
     runner = ParallelRunner(workers=args.workers)
     store, version = _store_for(args)
     start = time.perf_counter()
@@ -314,6 +396,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if store is not None:
             store.close()
     _emit(report, args, time.perf_counter() - start, args.workers)
+    return 0
+
+
+# -- compare-mechanisms -------------------------------------------------------------------
+
+
+def _cmd_compare_mechanisms(args: argparse.Namespace) -> int:
+    from repro.results.store import open_store
+
+    with open_store(args.db) as store:
+        return _render_mechanism_comparison(
+            store,
+            scenario=args.scenario,
+            mechanisms=getattr(args, "mechanisms", None),
+            code_version=getattr(args, "code_version", None),
+            engine=args.engine,
+            as_json=args.json,
+        )
+
+
+def _render_mechanism_comparison(
+    store, *, scenario, mechanisms, code_version, engine, as_json
+) -> int:
+    from repro.analysis.reports import render_mechanism_comparison
+    from repro.results.stats import compare_mechanisms
+
+    names = None
+    if mechanisms:
+        names = [part.strip() for part in mechanisms.split(",") if part.strip()]
+    try:
+        report = compare_mechanisms(
+            store, scenario, mechanisms=names, code_version=code_version, engine=engine
+        )
+    except ValueError as error:
+        raise _UsageError(str(error)) from None
+    if as_json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_mechanism_comparison(report))
     return 0
 
 
@@ -341,13 +464,17 @@ def _cmd_results_list(args: argparse.Namespace, store) -> int:
     if not summary:
         print(f"result store {store.path} is empty")
         return 0
-    header = f"{'scenario':<22} {'code version':<18} {'engine':>7} {'replicates':>10} {'seeds':>12}  recorded at"
+    header = (
+        f"{'scenario':<22} {'code version':<18} {'engine':>7} {'mechanism':<13} "
+        f"{'replicates':>10} {'seeds':>12}  recorded at"
+    )
     print(header)
     print("-" * len(header))
     for row in summary:
         print(
             f"{row['scenario']:<22} {row['code_version']:<18} {row['engine']:>7} "
-            f"{row['replicates']:>10} {row['seeds']:>12}  {row['recorded_at']}"
+            f"{row['mechanism']:<13} {row['replicates']:>10} {row['seeds']:>12}  "
+            f"{row['recorded_at']}"
         )
     return 0
 
@@ -360,20 +487,28 @@ def _cmd_results_show(args: argparse.Namespace, store) -> int:
     if version is None:
         raise _UsageError(f"no stored runs for scenario {args.scenario!r} in {store.path}")
     try:
-        stats = scenario_stats(store, args.scenario, code_version=version, engine=args.engine)
-    except ValueError as error:  # e.g. runs span several engines
+        stats = scenario_stats(
+            store,
+            args.scenario,
+            code_version=version,
+            engine=args.engine,
+            mechanism=args.mechanism,
+        )
+    except ValueError as error:  # e.g. runs span several engines/mechanisms
         raise _UsageError(str(error)) from None
     if not stats:
         raise _UsageError(
             f"no stored runs for scenario {args.scenario!r} under code version {version!r}"
         )
     count = max(s.count for s in stats.values())
+    mech_label = f" [{args.mechanism}]" if args.mechanism else ""
     if args.json:
         import json
 
         payload = {
             "scenario": args.scenario,
             "code_version": version,
+            "mechanism": args.mechanism,
             "replicates": count,
             "metrics": {name: s.to_dict() for name, s in stats.items()},
         }
@@ -382,7 +517,7 @@ def _cmd_results_show(args: argparse.Namespace, store) -> int:
     print(
         render_replicate_stats(
             stats,
-            title=f"{args.scenario} @ {version} ({count} replicate(s))",
+            title=f"{args.scenario}{mech_label} @ {version} ({count} replicate(s))",
         )
     )
     return 0
@@ -392,39 +527,92 @@ def _cmd_results_compare(args: argparse.Namespace, store) -> int:
     from repro.analysis.reports import render_metric_comparisons
     from repro.results.stats import compare_versions
 
+    if args.across == "mechanisms":
+        # Statistical market-vs-baseline comparison within one code version;
+        # informational, so no regression exit code.  Gate-style flags are
+        # version-mode only: silently dropping them would turn a CI gate
+        # invocation into an unconditional green.
+        dropped = [
+            flag
+            for flag, value in (
+                ("--baseline", args.baseline),
+                ("--candidate", args.candidate),
+                ("--baseline-db", args.baseline_db),
+                ("--tolerance", args.tolerance),
+            )
+            if value is not None
+        ]
+        if dropped:
+            raise _UsageError(
+                f"{', '.join(dropped)} only apply to --across versions; "
+                "a mechanism comparison has no baseline/candidate or regression gate"
+            )
+        return _render_mechanism_comparison(
+            store,
+            scenario=args.scenario,
+            mechanisms=args.mechanism,
+            code_version=None,
+            engine=args.engine,
+            as_json=args.json,
+        )
+
+    baseline_store = None
+    if args.baseline_db is not None:
+        from repro.results.store import open_store
+
+        if not args.baseline_db.exists():
+            raise _UsageError(f"baseline store {args.baseline_db} does not exist")
+        baseline_store = open_store(args.baseline_db)
+
     baseline, candidate = args.baseline, args.candidate
-    if baseline is None or candidate is None:
-        versions = store.code_versions(scenario=args.scenario)
+    try:
         if candidate is None:
+            versions = store.code_versions(scenario=args.scenario)
             if not versions:
                 raise _UsageError(f"no stored runs for scenario {args.scenario!r} in {store.path}")
             candidate = versions[-1]
         if baseline is None:
-            # The newest version recorded *before* the candidate, so an
-            # explicit --candidate naming an older version still compares
-            # forward in time instead of against a newer build.
-            earlier = (
-                versions[: versions.index(candidate)]
-                if candidate in versions
-                else [v for v in versions if v != candidate]
-            )
-            if not earlier:
-                raise _UsageError(
-                    f"scenario {args.scenario!r} has no stored code version recorded "
-                    f"before {candidate!r}; pass --baseline explicitly"
+            if baseline_store is not None:
+                # Cross-store gate: the baseline side is simply the other
+                # store's newest recorded version of the scenario.
+                baseline = baseline_store.latest_code_version(scenario=args.scenario)
+                if baseline is None:
+                    raise _UsageError(
+                        f"baseline store {args.baseline_db} holds no runs of {args.scenario!r}"
+                    )
+            else:
+                versions = store.code_versions(scenario=args.scenario)
+                # The newest version recorded *before* the candidate, so an
+                # explicit --candidate naming an older version still compares
+                # forward in time instead of against a newer build.
+                earlier = (
+                    versions[: versions.index(candidate)]
+                    if candidate in versions
+                    else [v for v in versions if v != candidate]
                 )
-            baseline = earlier[-1]
-    try:
-        report = compare_versions(
-            store,
-            args.scenario,
-            baseline_version=baseline,
-            candidate_version=candidate,
-            tolerance=args.tolerance,
-            engine=args.engine,
-        )
-    except ValueError as error:
-        raise _UsageError(str(error)) from None
+                if not earlier:
+                    raise _UsageError(
+                        f"scenario {args.scenario!r} has no stored code version recorded "
+                        f"before {candidate!r}; pass --baseline explicitly"
+                    )
+                baseline = earlier[-1]
+        tolerance = 0.05 if args.tolerance is None else args.tolerance
+        try:
+            report = compare_versions(
+                store,
+                args.scenario,
+                baseline_version=baseline,
+                candidate_version=candidate,
+                tolerance=tolerance,
+                engine=args.engine,
+                mechanism=args.mechanism,
+                baseline_store=baseline_store,
+            )
+        except ValueError as error:
+            raise _UsageError(str(error)) from None
+    finally:
+        if baseline_store is not None:
+            baseline_store.close()
     if not report.comparisons:
         # Nothing shared to compare must not read as a green gate.
         raise _UsageError(
@@ -440,7 +628,7 @@ def _cmd_results_compare(args: argparse.Namespace, store) -> int:
     if not report.ok:
         names = ", ".join(c.metric for c in report.regressions)
         print(f"REGRESSION: {names} moved beyond tolerance "
-              f"{args.tolerance:.2%} between {baseline} and {candidate}", file=sys.stderr)
+              f"{tolerance:.2%} between {baseline} and {candidate}", file=sys.stderr)
         return EXIT_REGRESSION
     return 0
 

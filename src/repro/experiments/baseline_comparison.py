@@ -7,6 +7,14 @@ overall utilization".  This experiment quantifies that on a common workload:
 the same per-team demands are run through the fixed-price FCFS, proportional
 share, and priority baselines and through the market, and the shortage /
 surplus / balance metrics are compared.
+
+This module is a thin one-shot wrapper over the allocation-mechanism layer
+(:mod:`repro.mechanisms`): the baseline policies come from the mechanism
+registry's allocators, applied once against the scenario's initial fleet.
+For the longitudinal version of the same comparison — every mechanism driven
+through per-epoch trajectories, persisted with provenance, and compared with
+replicate statistics — run ``python -m repro sweep --mechanism all`` followed
+by ``python -m repro compare-mechanisms <scenario>``.
 """
 
 from __future__ import annotations
@@ -20,10 +28,8 @@ from repro.baselines.comparison import (
     market_outcome_from_quota_delta,
     requests_from_demands,
 )
-from repro.baselines.fixed_price import FixedPriceAllocator
-from repro.baselines.priority import PriorityAllocator
-from repro.baselines.proportional import ProportionalShareAllocator
 from repro.experiments.config import ExperimentConfig, PAPER_SCALE
+from repro.mechanisms.baseline import one_shot_outcomes
 from repro.simulation.economy import MarketEconomySimulation
 from repro.simulation.scenario import build_scenario
 from repro.simulation.workload import demands_from_agents, priorities_from_agents
@@ -60,11 +66,7 @@ def run_baseline_comparison(
     priorities = priorities_from_agents(scenario.agents, seed=scenario.rng)
     requests = requests_from_demands(index, demands, priorities=priorities)
 
-    outcomes = [
-        FixedPriceAllocator().allocate(index, requests),
-        ProportionalShareAllocator().allocate(index, requests),
-        PriorityAllocator().allocate(index, requests),
-    ]
+    outcomes = one_shot_outcomes(scenario, requests)
 
     initial_holdings = scenario.platform.quotas.snapshot()
     sim = MarketEconomySimulation(

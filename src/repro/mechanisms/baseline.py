@@ -1,0 +1,374 @@
+"""Traditional allocation policies as first-class mechanisms.
+
+The paper motivates the market by contrast with manual quota setting (Section
+I): fixed-price first-come-first-served grants, operator-assigned priorities,
+and equal proportional shares.  :mod:`repro.baselines` implements those
+policies as *one-shot* allocators; this module drives them through the same
+longitudinal structure as the market economy so every catalog scenario can run
+under either kind of mechanism and produce directly comparable trajectories.
+
+Per epoch, a :class:`BaselineEconomySimulation`:
+
+1. re-reads every team's current demand (profiles grow between epochs exactly
+   as they do for market agents);
+2. asks the policy to grant each team's *residual* need — what it demands
+   beyond the quota it already holds — against the fleet's **current, drifted**
+   available capacity (a team keeps the quota it was granted in earlier
+   epochs; traditional quotas are sticky).  Requests are capped by budget at
+   the operator's **posted fixed prices**: quota was never free, teams buy it
+   at ``c(r)``-anchored fixed rates whatever the pool's congestion — which is
+   precisely the inefficiency the market removes, since clearing prices in
+   idle clusters fall *below* the fixed price and stretch the same budget
+   over more resources (Figure 6);
+3. projects the new grants onto pool utilizations and applies the same organic
+   drift model the market simulation uses;
+4. records both measurement families of :mod:`repro.baselines.comparison`:
+   the cumulative team-level coverage (everything granted so far against the
+   epoch's demand, via :func:`~repro.baselines.comparison.allocation_metrics`
+   — the same measurement applied to the market's cumulative quota delta) and
+   the pool-level imbalance (capacity overcommitted past safe headroom /
+   stranded idle, via
+   :func:`~repro.baselines.comparison.utilization_imbalance`).
+
+What baselines *cannot* do is exactly what the trajectories expose: there is
+no price signal steering demand out of congested home clusters, so grants
+pile onto the hot pools teams already live in (shortage: hot pools run out
+of headroom) while idle clusters stay untouched (surplus: cold capacity
+stays stranded).  The market's congestion-weighted reserve prices repel
+demand from hot pools and invite it into cold ones, shrinking both numbers.
+
+Premium and clearing-round series are degenerate by construction — every grant
+happens at the posted fixed price (premium 1.0) with no price discovery
+(0 clock rounds) — which is also why baseline runs are far cheaper than
+market runs (see ``benchmarks/test_bench_mechanisms.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.baselines.comparison import (
+    AllocationMetrics,
+    allocation_metrics,
+    utilization_imbalance,
+)
+from repro.baselines.fixed_price import FixedPriceAllocator
+from repro.baselines.priority import PriorityAllocator
+from repro.baselines.proportional import ProportionalShareAllocator
+from repro.baselines.requests import AllocationOutcome, QuotaRequest
+from repro.simulation.scenario import Scenario
+from repro.simulation.workload import (
+    apply_settlement_to_utilization,
+    demands_from_agents,
+    organic_drift,
+    priorities_from_agents,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.catalog import ScenarioSpec
+    from repro.simulation.runner import ScenarioRunResult
+
+#: Allocation smaller than this does not count as a settled trade.
+_TRADE_TOL = 1e-9
+
+#: The one-shot allocator behind each baseline mechanism name.
+BASELINE_ALLOCATORS: dict[str, Callable[[], object]] = {
+    "fixed-price": FixedPriceAllocator,
+    "priority": PriorityAllocator,
+    "proportional": ProportionalShareAllocator,
+}
+
+
+def zero_migration_summary() -> dict[str, float]:
+    """The migration block of a mechanism that never moves load.
+
+    Key-compatible with :func:`repro.analysis.utilization_stats.migration_summary`
+    but all-zero (and NaN-free, so canonical reports stay JSON-round-trippable).
+    """
+    return {
+        "median_bid_percentile": 0.0,
+        "median_offer_percentile": 0.0,
+        "bid_quantity_share_in_underutilized": 0.0,
+        "bid_count": 0.0,
+        "offer_count": 0.0,
+    }
+
+
+@dataclass
+class BaselinePeriodResult:
+    """Everything recorded about one baseline allocation epoch."""
+
+    epoch: int
+    #: Cost-weighted value of this epoch's *new* grants at fixed prices.
+    revenue: float
+    #: Number of (team, pool) grants made this epoch.
+    grant_count: int
+    #: Fraction of all cost-weighted demand covered by cumulative holdings.
+    grant_rate: float
+    #: Pool utilizations after grants and organic drift were applied.
+    utilization_after: np.ndarray
+    #: Cost-weighted capacity overcommitted / stranded after this epoch (the
+    #: paper's pool-level "shortages and surpluses"; see
+    #: :func:`repro.baselines.comparison.utilization_imbalance`).
+    shortage_cost: float
+    surplus_cost: float
+    #: Cumulative team-level coverage vs this epoch's demand.
+    allocation: AllocationMetrics
+
+
+@dataclass
+class BaselineHistory:
+    """The full record of a multi-epoch baseline run."""
+
+    policy: str
+    periods: list[BaselinePeriodResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.periods)
+
+    def allocation_series(self) -> list[AllocationMetrics]:
+        """Cumulative shortage/surplus/satisfaction metrics per epoch."""
+        return [period.allocation for period in self.periods]
+
+
+class BaselineEconomySimulation:
+    """Drive a one-shot allocation policy through periodic epochs.
+
+    The longitudinal shell mirrors :class:`~repro.simulation.economy.MarketEconomySimulation`:
+    demand grows, utilization drifts, and each epoch re-evaluates the policy
+    against the fleet as it currently stands — but grants are sticky and there
+    is no bidding, no price discovery, and no migration.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        allocator,
+        *,
+        policy: str,
+        drift_scale: float = 0.015,
+    ):
+        if drift_scale < 0:
+            raise ValueError("drift_scale must be non-negative")
+        self.scenario = scenario
+        self.allocator = allocator
+        self.policy = policy
+        self.drift_scale = drift_scale
+        self.history = BaselineHistory(policy=policy)
+        self._initial_index = scenario.pool_index
+        #: Cumulative granted quota per team (vectors over the pool index).
+        self._holdings: dict[str, np.ndarray] = {}
+        #: Budget each team has left to buy quota at the posted fixed prices.
+        self._budgets: dict[str, float] = {
+            agent.name: float(agent.budget) for agent in scenario.agents
+        }
+        # Operator priorities are assigned once, up front: the operator ranks
+        # teams by perceived importance, not per epoch.  Uses the scenario RNG
+        # so a fixed seed fixes the whole run.
+        self._priorities = priorities_from_agents(scenario.agents, seed=scenario.rng)
+        # Demand is re-derived analytically each epoch instead of re-running
+        # the covering-bundle translation: covering bundles are linear in the
+        # requested quantity and a profile's growth is one multiplicative
+        # factor per epoch, so epoch t's demand vector is exactly
+        # ``base * (1 + growth) ** (t - 1)``.  This is what keeps a baseline
+        # epoch allocator-bound instead of bid-entry-bound (see
+        # ``benchmarks/test_bench_mechanisms.py``).
+        self._base_demand: dict[str, np.ndarray] = {
+            team: self._initial_index.vector(bundle)
+            for team, bundle in demands_from_agents(
+                scenario.agents, self._initial_index
+            ).items()
+        }
+        self._growth: dict[str, float] = {
+            agent.name: float(agent.demand.growth_rate) for agent in scenario.agents
+        }
+        #: Posted fixed prices as a vector (constant for the whole run).
+        self._fixed_prices = self._initial_index.vector(scenario.platform.fixed_prices)
+
+    def _held(self, team: str) -> np.ndarray:
+        return self._holdings.get(team, np.zeros(len(self._initial_index)))
+
+    def _epoch_demands(self, epoch: int) -> dict[str, np.ndarray]:
+        """Demand vector per team at ``epoch`` (1-based), grown analytically."""
+        return {
+            team: base * (1.0 + self._growth.get(team, 0.0)) ** (epoch - 1)
+            for team, base in self._base_demand.items()
+        }
+
+    def _residual_requests(
+        self, demands: dict[str, np.ndarray], fixed_prices: np.ndarray
+    ) -> list[QuotaRequest]:
+        """What each team still needs beyond the quota it already holds.
+
+        Quota is bought, not gifted: a residual request costing more than the
+        team's remaining budget at the posted fixed prices is scaled down to
+        what the team can afford.  This is the flip side of the market's
+        advantage — a market bidder whose home cluster is congested chases
+        clearing prices *below* the fixed rate in idle clusters, so the same
+        budget provisions more resources there.
+        """
+        index = self.scenario.pool_index
+        names = index.names
+        requests: list[QuotaRequest] = []
+        for team, demand in demands.items():
+            residual = np.clip(demand - self._held(team), 0.0, None)
+            cost = float(np.dot(residual, fixed_prices))
+            budget = self._budgets.get(team, 0.0)
+            if cost > budget:
+                residual = residual * (budget / cost if cost > 0 else 0.0)
+            quantities = {
+                names[i]: float(residual[i]) for i in np.flatnonzero(residual > 1e-12)
+            }
+            if quantities:
+                requests.append(
+                    QuotaRequest(
+                        team=team,
+                        quantities=quantities,
+                        priority=self._priorities.get(team, 0),
+                    )
+                )
+        return requests
+
+    def _cumulative_outcome(self, demands: dict[str, np.ndarray]) -> AllocationOutcome:
+        """Everything granted so far, judged against the current demand.
+
+        The outcome is anchored to the *initial* pool index: shortage and
+        satisfaction only need unit costs (constant), and surplus then reads
+        as "capacity that was free before the first epoch and that the
+        mechanism has still never put to use" — the same yardstick the market
+        simulation applies to its cumulative quota delta.
+        """
+        outcome = AllocationOutcome(index=self._initial_index, policy=self.policy)
+        for team, demand in demands.items():
+            outcome.record(team, demand, self._held(team))
+        for team, held in self._holdings.items():
+            if team not in outcome.requested and np.any(held > 0):
+                outcome.record(team, np.zeros(len(self._initial_index)), held)
+        return outcome
+
+    def run_one_epoch(self) -> BaselinePeriodResult:
+        """Run a single allocation epoch and record its statistics."""
+        scenario = self.scenario
+        index = scenario.pool_index
+        demands = self._epoch_demands(len(self.history.periods) + 1)
+        fixed_prices = self._fixed_prices
+
+        epoch_outcome = self.allocator.allocate(
+            index, self._residual_requests(demands, fixed_prices)
+        )
+        epoch_granted = epoch_outcome.total_granted()
+        grant_count = 0
+        for team, granted in epoch_outcome.granted.items():
+            grant_count += int(np.count_nonzero(granted > _TRADE_TOL))
+            self._holdings[team] = self._held(team) + granted
+            spend = float(np.dot(granted, fixed_prices))
+            self._budgets[team] = max(0.0, self._budgets.get(team, 0.0) - spend)
+
+        revenue = float(np.dot(epoch_granted, fixed_prices))
+
+        metrics = allocation_metrics(self._cumulative_outcome(demands))
+
+        # Project grants onto utilization and drift, exactly as the market
+        # simulation projects its settlements between auctions.
+        updated = apply_settlement_to_utilization(index, epoch_granted)
+        updated = organic_drift(updated, rng=scenario.rng, drift_scale=self.drift_scale)
+        scenario.platform.update_pool_index(updated)
+
+        shortage, surplus = utilization_imbalance(self._initial_index, updated.utilizations())
+        period = BaselinePeriodResult(
+            epoch=len(self.history.periods) + 1,
+            revenue=revenue,
+            grant_count=grant_count,
+            grant_rate=metrics.grant_rate,
+            utilization_after=updated.utilizations().copy(),
+            shortage_cost=shortage,
+            surplus_cost=surplus,
+            allocation=metrics,
+        )
+        self.history.periods.append(period)
+        return period
+
+    def run(self, epochs: int) -> BaselineHistory:
+        """Run ``epochs`` allocation epochs."""
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        for _ in range(epochs):
+            self.run_one_epoch()
+        return self.history
+
+
+class BaselineMechanism:
+    """One traditional policy wrapped behind the mechanism contract."""
+
+    def __init__(self, name: str, description: str, allocator_factory: Callable[[], object]):
+        self.name = name
+        self.description = description
+        self.allocator_factory = allocator_factory
+
+    def run(self, spec: "ScenarioSpec") -> "ScenarioRunResult":
+        return self.simulate(spec.build(), spec)
+
+    def simulate(self, scenario: Scenario, spec: "ScenarioSpec") -> "ScenarioRunResult":
+        """Run the policy against an already-built scenario (consumes it).
+
+        Split from :meth:`run` for the same reason as
+        :meth:`repro.mechanisms.market.MarketMechanism.simulate`: the
+        mechanism benchmark compares allocation work, not fleet generation.
+        """
+        from repro.simulation.runner import ScenarioRunResult, _round, _round_list
+
+        sim = BaselineEconomySimulation(
+            scenario,
+            self.allocator_factory(),
+            policy=self.name,
+            drift_scale=spec.drift_scale,
+        )
+        history = sim.run(spec.auctions)
+        periods = history.periods
+        mean_fixed_price = float(np.mean(list(scenario.platform.fixed_prices.values())))
+        return ScenarioRunResult(
+            scenario=spec.name,
+            seed=spec.config.seed,
+            engine=spec.config.auction_engine,
+            auctions=len(periods),
+            clusters=len(scenario.fleet.clusters),
+            pools=len(scenario.pool_index),
+            teams=len(scenario.agents),
+            # Every grant happens at the posted fixed price: premium == 1.0.
+            median_premium=[1.0] * len(periods),
+            mean_premium=[1.0] * len(periods),
+            settled_fraction=_round_list(p.grant_rate for p in periods),
+            # No price discovery: zero clock rounds per epoch.
+            clearing_rounds=[0] * len(periods),
+            mean_clearing_price=[_round(mean_fixed_price)] * len(periods),
+            revenue=_round_list(p.revenue for p in periods),
+            mean_utilization=_round_list(
+                float(np.mean(p.utilization_after)) for p in periods
+            ),
+            utilization_spread=_round_list(
+                float(np.std(p.utilization_after)) for p in periods
+            ),
+            migration=zero_migration_summary(),
+            trade_count=sum(p.grant_count for p in periods),
+            mechanism=self.name,
+            shortage_cost=_round_list(p.shortage_cost for p in periods),
+            surplus_cost=_round_list(p.surplus_cost for p in periods),
+            satisfied_fraction=_round_list(
+                p.allocation.satisfied_fraction for p in periods
+            ),
+        )
+
+
+def one_shot_outcomes(
+    scenario: Scenario, requests: Sequence[QuotaRequest]
+) -> list[AllocationOutcome]:
+    """Run every baseline policy once against a scenario's current fleet.
+
+    The single-epoch view used by ``experiments/baseline_comparison.py``:
+    equivalent to each baseline mechanism's first epoch.
+    """
+    index = scenario.pool_index
+    return [factory().allocate(index, requests) for factory in BASELINE_ALLOCATORS.values()]

@@ -8,12 +8,14 @@ durable and comparable:
   scenario run (utilization, clearing price, rounds, revenue, premiums) and
   the direction in which each one is allowed to move;
 * :mod:`repro.results.store` — a sqlite-backed :class:`ResultStore` keyed by
-  ``(scenario, seed, code_version, engine)`` that the parallel runner and the
-  ``python -m repro`` CLI write into, replacing throwaway JSON reports as the
-  canonical record;
+  ``(scenario, seed, code_version, engine, mechanism)`` that the parallel
+  runner and the ``python -m repro`` CLI write into, replacing throwaway JSON
+  reports as the canonical record (observed wall times included, for
+  measured-cost scheduling);
 * :mod:`repro.results.stats` — replicate statistics (mean / stddev / 95%
-  confidence intervals per metric) and version-to-version comparison with
-  regression flagging, surfaced by ``python -m repro results list|show|compare``.
+  confidence intervals per metric), version-to-version comparison with
+  regression flagging, and cross-mechanism comparison, surfaced by
+  ``python -m repro results list|show|compare`` and ``compare-mechanisms``.
 
 Everything here is standard library only (``sqlite3``, ``statistics``); the
 store adds no dependency to the runtime.
@@ -22,9 +24,11 @@ store adds no dependency to the runtime.
 from repro.results.metrics import METRIC_DIRECTIONS, METRICS, MetricDef, run_metrics
 from repro.results.stats import (
     ComparisonReport,
+    MechanismComparisonReport,
     MetricComparison,
     ReplicateStats,
     aggregate_metrics,
+    compare_mechanisms,
     compare_metrics,
     compare_versions,
     replicate_stats,
@@ -57,5 +61,7 @@ __all__ = [
     "scenario_stats",
     "compare_metrics",
     "compare_versions",
+    "MechanismComparisonReport",
+    "compare_mechanisms",
     "t_critical_95",
 ]

@@ -57,6 +57,24 @@ def _mean(values) -> float:
     return float(sum(values) / len(values))
 
 
+def _final(values, series: str) -> float:
+    """Last entry of a per-epoch series, with a readable error when absent.
+
+    The allocation-comparison series (``shortage_cost`` & co.) default to
+    empty lists on :class:`ScenarioRunResult` for constructor compatibility;
+    a result built without them cannot be reduced to metrics, and that must
+    surface as a clear message rather than a bare ``IndexError`` from deep
+    inside ``store.record``.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError(
+            f"run has no {series!r} trajectory; every mechanism run must fill "
+            "the allocation-comparison series (see ScenarioRunResult)"
+        )
+    return float(values[-1])
+
+
 #: The registry, in display order.  Every metric maps a finished run to one
 #: float; the store persists exactly this set for every recorded run.
 METRICS: dict[str, MetricDef] = {
@@ -116,6 +134,35 @@ METRICS: dict[str, MetricDef] = {
             "Settled (bidder, pool) trades pooled across auctions",
             lambda r: float(r.trade_count),
         ),
+        # The market-vs-baseline comparison scalars (absorbed from
+        # ``baselines/comparison.py``): cumulative provisioning after the last
+        # epoch, judged against that epoch's demand.  These are what
+        # ``results compare --across mechanisms`` reproduces the paper's
+        # Table-1-style shortage/surplus claim from.
+        MetricDef(
+            "shortage_cost",
+            "lower",
+            "Cost-weighted capacity overcommitted past safe headroom, final epoch",
+            lambda r: _final(r.shortage_cost, "shortage_cost"),
+        ),
+        MetricDef(
+            "surplus_cost",
+            "lower",
+            "Cost-weighted capacity stranded idle, final epoch",
+            lambda r: _final(r.surplus_cost, "surplus_cost"),
+        ),
+        MetricDef(
+            "utilization_spread",
+            "lower",
+            "Std-dev of pool utilization after the final epoch",
+            lambda r: _final(r.utilization_spread, "utilization_spread"),
+        ),
+        MetricDef(
+            "satisfied_fraction",
+            "higher",
+            "Fraction of teams fully provisioned after the final epoch",
+            lambda r: _final(r.satisfied_fraction, "satisfied_fraction"),
+        ),
     )
 }
 
@@ -134,11 +181,15 @@ def run_metrics(result: "ScenarioRunResult") -> dict[str, float]:
     ...     settled_fraction=[0.5, 0.7], clearing_rounds=[4, 2],
     ...     mean_clearing_price=[2.0, 3.0], revenue=[100.0, 140.0],
     ...     mean_utilization=[0.5, 0.6], utilization_spread=[0.2, 0.1],
-    ...     migration={}, trade_count=5)
+    ...     migration={}, trade_count=5, mechanism="market",
+    ...     shortage_cost=[60.0, 40.0], surplus_cost=[90.0, 70.0],
+    ...     satisfied_fraction=[0.5, 0.8])
     >>> metrics = run_metrics(result)
     >>> metrics["total_revenue"], metrics["final_median_premium"]
     (240.0, 1.1)
     >>> metrics["mean_clearing_rounds"]
     3.0
+    >>> metrics["shortage_cost"], metrics["satisfied_fraction"]
+    (40.0, 0.8)
     """
     return {name: m.extract(result) for name, m in METRICS.items()}

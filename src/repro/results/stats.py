@@ -146,10 +146,13 @@ def scenario_stats(
     *,
     code_version: str | None = None,
     engine: str | None = None,
+    mechanism: str | None = None,
 ) -> dict[str, ReplicateStats]:
     """Replicate statistics for one stored scenario (latest version by default)."""
     return aggregate_metrics(
-        store.replicate_metrics(scenario, code_version=code_version, engine=engine)
+        store.replicate_metrics(
+            scenario, code_version=code_version, engine=engine, mechanism=mechanism
+        )
     )
 
 
@@ -305,10 +308,23 @@ def compare_versions(
     candidate_version: str,
     tolerance: float = 0.05,
     engine: str | None = None,
+    mechanism: str | None = None,
+    baseline_store: "ResultStore | None" = None,
 ) -> ComparisonReport:
-    """Compare one scenario's replicates between two stored code versions."""
-    baseline = store.replicate_metrics(scenario, code_version=baseline_version, engine=engine)
-    candidate = store.replicate_metrics(scenario, code_version=candidate_version, engine=engine)
+    """Compare one scenario's replicates between two stored code versions.
+
+    ``baseline_store`` lets the baseline side come from a *different* store
+    file (the cross-PR CI gate compares the current smoke store against the
+    previous build's downloaded artifact); by default both sides read from
+    ``store``.
+    """
+    source = store if baseline_store is None else baseline_store
+    baseline = source.replicate_metrics(
+        scenario, code_version=baseline_version, engine=engine, mechanism=mechanism
+    )
+    candidate = store.replicate_metrics(
+        scenario, code_version=candidate_version, engine=engine, mechanism=mechanism
+    )
     if not baseline:
         raise ValueError(
             f"no stored runs of {scenario!r} under baseline version {baseline_version!r}"
@@ -323,4 +339,132 @@ def compare_versions(
         tolerance=tolerance,
         baseline_label=baseline_version,
         candidate_label=candidate_version,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Mechanism-to-mechanism comparison.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MechanismComparisonReport:
+    """Per-metric replicate statistics for several mechanisms of one scenario.
+
+    The statistical reproduction of the paper's Table-1-style claim: for each
+    metric, every mechanism's mean and 95% CI side by side, with a
+    direction-aware verdict of which mechanism leads.
+    """
+
+    scenario: str
+    code_version: str
+    #: Mechanism names in display order (market first when present).
+    mechanisms: tuple[str, ...]
+    #: metric -> {mechanism: ReplicateStats}; only metrics every compared
+    #: mechanism recorded appear here.
+    metric_stats: dict[str, dict[str, ReplicateStats]]
+    #: metric -> direction (``higher`` / ``lower`` / ``neutral``).
+    directions: dict[str, str]
+
+    def best(self, metric: str) -> str | None:
+        """The mechanism with the best mean for a directional metric.
+
+        ``None`` for neutral metrics (no preferred direction) and for ties.
+        """
+        direction = self.directions.get(metric, "neutral")
+        if direction == "neutral":
+            return None
+        stats = self.metric_stats[metric]
+        ordered = sorted(
+            stats.items(),
+            key=lambda item: item[1].mean,
+            reverse=(direction == "higher"),
+        )
+        if len(ordered) > 1 and ordered[0][1].mean == ordered[1][1].mean:
+            return None
+        return ordered[0][0]
+
+    def market_leads(self, metric: str) -> bool:
+        """Whether the market's mean beats every other compared mechanism."""
+        return "market" in self.metric_stats.get(metric, {}) and self.best(metric) == "market"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "code_version": self.code_version,
+            "mechanisms": list(self.mechanisms),
+            "metrics": {
+                metric: {
+                    "direction": self.directions.get(metric, "neutral"),
+                    "best": self.best(metric),
+                    "stats": {name: s.to_dict() for name, s in stats.items()},
+                }
+                for metric, stats in self.metric_stats.items()
+            },
+        }
+
+
+def compare_mechanisms(
+    store: "ResultStore",
+    scenario: str,
+    *,
+    mechanisms: Sequence[str] | None = None,
+    code_version: str | None = None,
+    engine: str | None = None,
+) -> MechanismComparisonReport:
+    """Compare one scenario's replicates across stored mechanisms.
+
+    ``mechanisms=None`` compares every mechanism stored for the scenario
+    under ``code_version`` (latest recorded by default).  Metrics present for
+    only some mechanisms are dropped — a mean is only comparable to a mean of
+    the same thing.
+    """
+    if code_version is None:
+        code_version = store.latest_code_version(scenario=scenario)
+    if code_version is None:
+        raise ValueError(f"no stored runs of {scenario!r}")
+    names = (
+        list(mechanisms)
+        if mechanisms is not None
+        else store.mechanisms(scenario=scenario, code_version=code_version)
+    )
+    if "market" in names:  # market leads the display order
+        names = ["market"] + [n for n in names if n != "market"]
+    if len(names) < 2:
+        if mechanisms is not None:
+            raise ValueError(
+                f"a mechanism comparison needs at least two mechanisms; got "
+                f"{', '.join(names) or 'none'} — pass a comma list like "
+                "'market,fixed-price' or omit the selection to compare every "
+                "stored mechanism"
+            )
+        raise ValueError(
+            f"scenario {scenario!r} has runs under {len(names)} mechanism(s) at "
+            f"{code_version!r}; a mechanism comparison needs at least two "
+            "(run `sweep --mechanism all` first)"
+        )
+    per_mechanism: dict[str, dict[str, ReplicateStats]] = {}
+    for name in names:
+        values = store.replicate_metrics(
+            scenario, code_version=code_version, engine=engine, mechanism=name
+        )
+        if not values:
+            raise ValueError(
+                f"no stored runs of {scenario!r} under mechanism {name!r} at {code_version!r}"
+            )
+        per_mechanism[name] = aggregate_metrics(values)
+    shared = [
+        metric
+        for metric in per_mechanism[names[0]]
+        if all(metric in per_mechanism[name] for name in names)
+    ]
+    return MechanismComparisonReport(
+        scenario=scenario,
+        code_version=code_version,
+        mechanisms=tuple(names),
+        metric_stats={
+            metric: {name: per_mechanism[name][metric] for name in names}
+            for metric in shared
+        },
+        directions={metric: METRIC_DIRECTIONS.get(metric, "neutral") for metric in shared},
     )

@@ -1,19 +1,27 @@
-"""The persistent result store: sqlite, keyed by (scenario, seed, code_version, engine).
+"""The persistent result store: sqlite, keyed by (scenario, seed, code_version, engine, mechanism).
 
 One row per *run*.  A run is uniquely identified by the scenario it executed,
-the replicate seed, the code version that produced it, and the demand engine
-it used; recording the same key twice replaces the earlier row (re-running an
-experiment under unchanged code is a refresh, not a new observation).  Each
-run stores the full canonical trajectory report (as JSON, for provenance) and
-the scalar metrics of :mod:`repro.results.metrics` (as rows, for querying).
+the replicate seed, the code version that produced it, the demand engine it
+used, and the allocation mechanism that produced the outcome; recording the
+same key twice replaces the earlier row (re-running an experiment under
+unchanged code is a refresh, not a new observation).  Each run stores the
+full canonical trajectory report (as JSON, for provenance), the scalar
+metrics of :mod:`repro.results.metrics` (as rows, for querying), and the
+observed wall time (for measured-cost scheduling — deliberately *outside*
+the canonical JSON, which must stay deterministic).
 
 Schema::
 
-    runs    (id, scenario, seed, code_version, engine, auctions,
-             recorded_at, result_json,
-             UNIQUE (scenario, seed, code_version, engine))
+    runs    (id, scenario, seed, code_version, engine, mechanism, auctions,
+             recorded_at, wall_time, result_json,
+             UNIQUE (scenario, seed, code_version, engine, mechanism))
     metrics (run_id -> runs.id, metric, value,
              PRIMARY KEY (run_id, metric))
+
+Stores created before the mechanism dimension existed (no ``mechanism`` /
+``wall_time`` columns, four-column unique key) are migrated in place on open:
+their rows are market runs by construction, so they re-key under
+``mechanism='market'`` with unknown wall times.
 
 ``code_version`` defaults to the version of the working tree — ``git describe
 --always --dirty`` where the package lives inside a git checkout, the package
@@ -61,10 +69,12 @@ CREATE TABLE IF NOT EXISTS runs (
     seed         INTEGER NOT NULL,
     code_version TEXT    NOT NULL,
     engine       TEXT    NOT NULL,
+    mechanism    TEXT    NOT NULL DEFAULT 'market',
     auctions     INTEGER NOT NULL,
     recorded_at  TEXT    NOT NULL,
+    wall_time    REAL,
     result_json  TEXT    NOT NULL,
-    UNIQUE (scenario, seed, code_version, engine)
+    UNIQUE (scenario, seed, code_version, engine, mechanism)
 );
 CREATE TABLE IF NOT EXISTS metrics (
     run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
@@ -72,7 +82,36 @@ CREATE TABLE IF NOT EXISTS metrics (
     value  REAL    NOT NULL,
     PRIMARY KEY (run_id, metric)
 );
-CREATE INDEX IF NOT EXISTS idx_runs_scenario ON runs (scenario, code_version, engine);
+CREATE INDEX IF NOT EXISTS idx_runs_scenario ON runs (scenario, code_version, engine, mechanism);
+"""
+
+#: Migration for stores written before the mechanism dimension existed: the
+#: old four-column unique key lives inside the table definition, so the table
+#: is rebuilt with the new shape and the rows re-keyed as market runs.  Run
+#: with foreign keys OFF (sqlite's documented table-rebuild recipe) so the
+#: ``metrics`` table's reference to ``runs`` survives the swap untouched.
+_MIGRATE_PRE_MECHANISM = """
+DROP INDEX IF EXISTS idx_runs_scenario;
+CREATE TABLE runs_migrated (
+    id           INTEGER PRIMARY KEY,
+    scenario     TEXT    NOT NULL,
+    seed         INTEGER NOT NULL,
+    code_version TEXT    NOT NULL,
+    engine       TEXT    NOT NULL,
+    mechanism    TEXT    NOT NULL DEFAULT 'market',
+    auctions     INTEGER NOT NULL,
+    recorded_at  TEXT    NOT NULL,
+    wall_time    REAL,
+    result_json  TEXT    NOT NULL,
+    UNIQUE (scenario, seed, code_version, engine, mechanism)
+);
+INSERT INTO runs_migrated (id, scenario, seed, code_version, engine, mechanism,
+                           auctions, recorded_at, wall_time, result_json)
+SELECT id, scenario, seed, code_version, engine, 'market', auctions,
+       recorded_at, NULL, result_json
+FROM runs;
+DROP TABLE runs;
+ALTER TABLE runs_migrated RENAME TO runs;
 """
 
 
@@ -142,17 +181,20 @@ class StoredRun:
     seed: int
     code_version: str
     engine: str
+    mechanism: str
     auctions: int
     recorded_at: str
+    #: Observed wall time in seconds (``None`` for pre-migration rows).
+    wall_time: float | None
     #: Scalar metrics (see :mod:`repro.results.metrics`).
     metrics: dict[str, float]
     #: The full canonical per-run report, as recorded.
     result: dict[str, object]
 
     @property
-    def key(self) -> tuple[str, int, str, str]:
+    def key(self) -> tuple[str, int, str, str, str]:
         """The store's unique key for this run."""
-        return (self.scenario, self.seed, self.code_version, self.engine)
+        return (self.scenario, self.seed, self.code_version, self.engine, self.mechanism)
 
 
 class ResultStore:
@@ -170,8 +212,28 @@ class ResultStore:
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(":memory:" if self.path is None else str(self.path))
+        self._migrate_pre_mechanism()
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def _migrate_pre_mechanism(self) -> None:
+        """Rebuild a pre-mechanism ``runs`` table in place (no-op otherwise)."""
+        table_exists = self._conn.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = 'runs'"
+        ).fetchone()
+        if not table_exists:
+            return
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(runs)").fetchall()
+        }
+        if "mechanism" in columns:
+            return
+        # Foreign keys stay OFF during the rebuild so sqlite neither rewrites
+        # nor enforces the metrics -> runs reference mid-swap (run ids are
+        # preserved verbatim, so the reference is intact afterwards).
+        self._conn.execute("PRAGMA foreign_keys = OFF")
+        self._conn.executescript(_MIGRATE_PRE_MECHANISM)
         self._conn.commit()
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -194,16 +256,18 @@ class ResultStore:
         version = code_version if code_version is not None else default_code_version()
         metrics = run_metrics(result)
         recorded_at = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+        wall_time = getattr(result, "wall_time_seconds", None)
         result_dict = result.to_dict()
         payload = json.dumps(result_dict, sort_keys=True)
         self._conn.execute(
             """
-            INSERT INTO runs (scenario, seed, code_version, engine, auctions,
-                              recorded_at, result_json)
-            VALUES (?, ?, ?, ?, ?, ?, ?)
-            ON CONFLICT (scenario, seed, code_version, engine) DO UPDATE SET
+            INSERT INTO runs (scenario, seed, code_version, engine, mechanism,
+                              auctions, recorded_at, wall_time, result_json)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+            ON CONFLICT (scenario, seed, code_version, engine, mechanism) DO UPDATE SET
                 auctions = excluded.auctions,
                 recorded_at = excluded.recorded_at,
+                wall_time = excluded.wall_time,
                 result_json = excluded.result_json
             """,
             (
@@ -211,15 +275,21 @@ class ResultStore:
                 result.seed,
                 version,
                 result.engine,
+                result.mechanism,
                 result.auctions,
                 recorded_at,
+                wall_time,
                 payload,
             ),
         )
         # lastrowid is unreliable on the upsert's UPDATE path: look the row up.
         run_id = self._conn.execute(
-            "SELECT id FROM runs WHERE scenario = ? AND seed = ? AND code_version = ? AND engine = ?",
-            (result.scenario, result.seed, version, result.engine),
+            """
+            SELECT id FROM runs
+            WHERE scenario = ? AND seed = ? AND code_version = ? AND engine = ?
+              AND mechanism = ?
+            """,
+            (result.scenario, result.seed, version, result.engine, result.mechanism),
         ).fetchone()[0]
         self._conn.execute("DELETE FROM metrics WHERE run_id = ?", (run_id,))
         self._conn.executemany(
@@ -233,8 +303,10 @@ class ResultStore:
             seed=result.seed,
             code_version=version,
             engine=result.engine,
+            mechanism=result.mechanism,
             auctions=result.auctions,
             recorded_at=recorded_at,
+            wall_time=wall_time,
             metrics=metrics,
             result=result_dict,
         )
@@ -253,19 +325,56 @@ class ResultStore:
         scenario: str | None = None,
         code_version: str | None = None,
         engine: str | None = None,
+        mechanism: str | None = None,
     ) -> list[StoredRun]:
         """Stored runs matching the given key fields, ordered by key."""
-        clauses, params = _filters(scenario=scenario, code_version=code_version, engine=engine)
+        clauses, params = _filters(
+            scenario=scenario, code_version=code_version, engine=engine, mechanism=mechanism
+        )
         rows = self._conn.execute(
             f"""
-            SELECT id, scenario, seed, code_version, engine, auctions,
-                   recorded_at, result_json
+            SELECT id, scenario, seed, code_version, engine, mechanism, auctions,
+                   recorded_at, wall_time, result_json
             FROM runs {clauses}
-            ORDER BY scenario, code_version, engine, seed
+            ORDER BY scenario, code_version, engine, mechanism, seed
             """,
             params,
         ).fetchall()
         return [self._hydrate(row) for row in rows]
+
+    def mechanisms(
+        self, *, scenario: str | None = None, code_version: str | None = None
+    ) -> list[str]:
+        """Distinct mechanism names present in the store, sorted."""
+        clauses, params = _filters(scenario=scenario, code_version=code_version)
+        rows = self._conn.execute(
+            f"SELECT DISTINCT mechanism FROM runs {clauses} ORDER BY mechanism", params
+        )
+        return [row[0] for row in rows.fetchall()]
+
+    def mean_wall_times(self) -> dict[tuple[str, str, str, int], float]:
+        """Observed mean wall seconds per (scenario, mechanism, engine, auctions).
+
+        The measured costs the parallel runner prefers over static
+        ``cost_estimate()`` ranking when scheduling longest-job-first.  The
+        key matches :meth:`repro.simulation.catalog.ScenarioSpec.cost_key`:
+        runs under a different engine or auction count are a different job
+        and must not stand in for this one's cost.  Rows without a recorded
+        wall time (pre-migration stores) are ignored; versions are pooled on
+        purpose (timings drift slowly and more samples beat freshness).
+        """
+        rows = self._conn.execute(
+            """
+            SELECT scenario, mechanism, engine, auctions, AVG(wall_time)
+            FROM runs
+            WHERE wall_time IS NOT NULL
+            GROUP BY scenario, mechanism, engine, auctions
+            """
+        ).fetchall()
+        return {
+            (scenario, mechanism, engine, int(auctions)): float(seconds)
+            for scenario, mechanism, engine, auctions, seconds in rows
+        }
 
     def scenarios(self) -> list[str]:
         """Distinct scenario names present in the store, sorted."""
@@ -304,6 +413,7 @@ class ResultStore:
         *,
         code_version: str | None = None,
         engine: str | None = None,
+        mechanism: str | None = None,
     ) -> dict[str, list[float]]:
         """Metric -> one value per stored replicate (ordered by seed).
 
@@ -312,27 +422,46 @@ class ResultStore:
         from different demand engines are never pooled: the engines produce
         bit-identical economies by design, so merging them would double-count
         seeds and understate the confidence intervals — when the selection
-        spans several engines, ``engine`` must pick one.
+        spans several engines, ``engine`` must pick one.  Runs from different
+        *mechanisms* are never pooled either, for the opposite reason: they
+        are different economies entirely, and pooling them would average a
+        market with a quota policy — when the selection spans several
+        mechanisms, ``mechanism`` must pick one.
         """
         if code_version is None:
             code_version = self.latest_code_version(scenario=scenario)
-        if engine is None:
-            clauses, params = _filters(scenario=scenario, code_version=code_version)
-            engines = [
+        for column, value in (("engine", engine), ("mechanism", mechanism)):
+            if value is not None:
+                continue
+            # The span check honours the *other* dimension's explicit filter:
+            # runs of one mechanism recorded under a single engine must not be
+            # rejected because a different mechanism used a different engine.
+            clauses, params = _filters(
+                scenario=scenario,
+                code_version=code_version,
+                engine=engine if column != "engine" else None,
+                mechanism=mechanism if column != "mechanism" else None,
+            )
+            values = [
                 row[0]
                 for row in self._conn.execute(
-                    f"SELECT DISTINCT engine FROM runs {clauses} ORDER BY engine", params
+                    f"SELECT DISTINCT {column} FROM runs {clauses} ORDER BY {column}",
+                    params,
                 )
             ]
-            if len(engines) > 1:
+            if len(values) > 1:
                 raise ValueError(
-                    f"stored runs of {scenario!r} under {code_version!r} span engines "
-                    f"{', '.join(engines)}; pass engine=... to pick one"
+                    f"stored runs of {scenario!r} under {code_version!r} span {column}s "
+                    f"{', '.join(values)}; pass {column}=... to pick one"
                 )
         # One JOIN over the metrics table: statistics only need the scalars,
         # not N hydrated trajectory payloads.
         clauses, params = _filters(
-            prefix="r.", scenario=scenario, code_version=code_version, engine=engine
+            prefix="r.",
+            scenario=scenario,
+            code_version=code_version,
+            engine=engine,
+            mechanism=mechanism,
         )
         rows = self._conn.execute(
             f"""
@@ -350,15 +479,15 @@ class ResultStore:
         return values
 
     def summary(self) -> list[dict[str, object]]:
-        """One row per (scenario, code_version, engine): what ``results list`` shows."""
+        """One row per (scenario, code_version, engine, mechanism): what ``results list`` shows."""
         rows = self._conn.execute(
             """
-            SELECT scenario, code_version, engine,
+            SELECT scenario, code_version, engine, mechanism,
                    COUNT(*) AS replicates,
                    MIN(seed) AS seed_min, MAX(seed) AS seed_max,
                    MAX(recorded_at) AS recorded_at
             FROM runs
-            GROUP BY scenario, code_version, engine
+            GROUP BY scenario, code_version, engine, mechanism
             ORDER BY scenario, MIN(id)
             """
         ).fetchall()
@@ -367,11 +496,13 @@ class ResultStore:
                 "scenario": scenario,
                 "code_version": code_version,
                 "engine": engine,
+                "mechanism": mechanism,
                 "replicates": replicates,
                 "seeds": f"{seed_min}..{seed_max}" if seed_min != seed_max else str(seed_min),
                 "recorded_at": recorded_at,
             }
-            for scenario, code_version, engine, replicates, seed_min, seed_max, recorded_at in rows
+            for scenario, code_version, engine, mechanism, replicates,
+                seed_min, seed_max, recorded_at in rows
         ]
 
     def __len__(self) -> int:
@@ -379,7 +510,18 @@ class ResultStore:
 
     # -- internals ---------------------------------------------------------------------
     def _hydrate(self, row: Iterable[object]) -> StoredRun:
-        run_id, scenario, seed, code_version, engine, auctions, recorded_at, payload = row
+        (
+            run_id,
+            scenario,
+            seed,
+            code_version,
+            engine,
+            mechanism,
+            auctions,
+            recorded_at,
+            wall_time,
+            payload,
+        ) = row
         metric_rows = self._conn.execute(
             "SELECT metric, value FROM metrics WHERE run_id = ?", (run_id,)
         ).fetchall()
@@ -389,8 +531,10 @@ class ResultStore:
             seed=int(seed),
             code_version=str(code_version),
             engine=str(engine),
+            mechanism=str(mechanism),
             auctions=int(auctions),
             recorded_at=str(recorded_at),
+            wall_time=None if wall_time is None else float(wall_time),
             metrics={str(name): float(value) for name, value in metric_rows},
             result=json.loads(payload),
         )

@@ -85,6 +85,11 @@ class ScenarioSpec:
     drift_scale: float = 0.015
     #: Non-binding preliminary runs before each binding auction.
     preliminary_runs: int = 0
+    #: Allocation mechanism the run uses: ``market`` (default) or a baseline
+    #: policy name from :mod:`repro.mechanisms` (``fixed-price``, ``priority``,
+    #: ``proportional``).  Stored as a plain name so specs stay picklable; the
+    #: runner resolves it against the mechanism registry inside the worker.
+    mechanism: str = "market"
     #: Free-form labels; ``stress`` excludes a scenario from the default sweep.
     tags: frozenset[str] = field(default_factory=frozenset)
 
@@ -92,6 +97,11 @@ class ScenarioSpec:
         if not _NAME_RE.match(self.name):
             raise ValueError(
                 f"scenario name {self.name!r} must be kebab-case ([a-z0-9-], starting alphanumeric)"
+            )
+        if not _NAME_RE.match(self.mechanism):
+            raise ValueError(
+                f"scenario {self.name!r}: mechanism {self.mechanism!r} must be a "
+                "kebab-case mechanism name"
             )
         if not self.description.strip():
             raise ValueError(f"scenario {self.name!r} needs a description")
@@ -109,6 +119,7 @@ class ScenarioSpec:
         seed: int | None = None,
         engine: str | None = None,
         drift_scale: float | None = None,
+        mechanism: str | None = None,
     ) -> "ScenarioSpec":
         """A copy with the run-time knobs the CLI exposes replaced."""
         config = self.config
@@ -121,11 +132,19 @@ class ScenarioSpec:
             config=config,
             auctions=self.auctions if auctions is None else auctions,
             drift_scale=self.drift_scale if drift_scale is None else drift_scale,
+            mechanism=self.mechanism if mechanism is None else mechanism,
         )
 
     def build(self) -> Scenario:
         """Materialise the scenario: fleet, population, registered platform."""
         return build_scenario(self.config)
+
+    #: Static cost discount for non-market mechanisms: baselines skip price
+    #: discovery entirely, so an epoch costs a small fraction of a market
+    #: auction's clock rounds.  Only the *ranking* matters (see
+    #: :meth:`cost_estimate`); measured wall times from the result store
+    #: override this estimate when available.
+    BASELINE_COST_FACTOR = 0.05
 
     def cost_estimate(self) -> float:
         """Relative runtime weight of this scenario (bidders x auctions x pools).
@@ -133,13 +152,31 @@ class ScenarioSpec:
         The estimate only has to *rank* scenarios: the parallel runner submits
         the heaviest jobs first so a long-running stress scenario starts
         immediately instead of serialising behind a queue of quick ones
-        (longest-job-first tightens the pool's makespan).
+        (longest-job-first tightens the pool's makespan).  Baseline-mechanism
+        runs are discounted by :data:`BASELINE_COST_FACTOR` — they allocate in
+        one pass instead of iterating clock rounds.
 
         >>> get_scenario("10k-bidder-stress").cost_estimate() > get_scenario("smoke").cost_estimate()
         True
+        >>> spec = get_scenario("paper-reference")
+        >>> spec.with_overrides(mechanism="priority").cost_estimate() < spec.cost_estimate()
+        True
         """
         pools = self.config.fleet.cluster_count * len(RESOURCE_TYPES)
-        return float(self.config.population.team_count * self.auctions * pools)
+        weight = float(self.config.population.team_count * self.auctions * pools)
+        if self.mechanism != "market":
+            weight *= self.BASELINE_COST_FACTOR
+        return weight
+
+    def cost_key(self) -> tuple[str, str, str, int]:
+        """The result-store key measured wall times are looked up under.
+
+        Includes the engine and auction count alongside the scenario and
+        mechanism: a one-auction smoke of a heavy scenario, or a scalar-engine
+        run of a batch-engine workload, is not a valid cost measurement for
+        the full job and must not poison sweep ordering.
+        """
+        return (self.name, self.mechanism, self.config.auction_engine, self.auctions)
 
     def summary(self) -> dict[str, object]:
         """The scalar facts ``python -m repro list`` displays."""
@@ -149,6 +186,7 @@ class ScenarioSpec:
             "teams": self.config.population.team_count,
             "auctions": self.auctions,
             "engine": self.config.auction_engine,
+            "mechanism": self.mechanism,
             "seed": self.config.seed,
             "tags": sorted(self.tags),
             "description": self.description,

@@ -20,11 +20,21 @@ from repro.agents.base import MarketView
 from repro.analysis.premium import PremiumStats, premium_stats
 from repro.analysis.price_ratio import PriceRatioRow, price_ratio_table
 from repro.analysis.utilization_stats import SettledTrade, migration_summary, settled_trades
+from repro.baselines.comparison import (
+    AllocationMetrics,
+    allocation_metrics,
+    market_outcome_from_quota_delta,
+    requests_from_demands,
+)
 from repro.core.settlement import Settlement
 from repro.market.platform import AuctionRecord
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.scenario import Scenario
-from repro.simulation.workload import apply_settlement_to_utilization, organic_drift
+from repro.simulation.workload import (
+    apply_settlement_to_utilization,
+    demands_from_agents,
+    organic_drift,
+)
 
 
 @dataclass
@@ -39,6 +49,13 @@ class AuctionPeriodResult:
     utilization_before: np.ndarray
     utilization_after: np.ndarray
     migration: dict[str, float]
+    #: Team-level coverage of the market's *cumulative* provisioning (quota
+    #: acquired since the simulation started) against the demand current at
+    #: this epoch — the satisfied-fraction side of the paper's
+    #: market-vs-baseline comparison (see :mod:`repro.baselines.comparison`;
+    #: the pool-level shortage/surplus side is derived from
+    #: ``utilization_after`` by the runner).
+    allocation: AllocationMetrics
 
     @property
     def settlement(self) -> Settlement:
@@ -81,6 +98,10 @@ class EconomyHistory:
         """Utilization spread across pools after each auction."""
         return [float(np.std(period.utilization_after)) for period in self.periods]
 
+    def allocation_series(self) -> list[AllocationMetrics]:
+        """Cumulative shortage/surplus/satisfaction metrics per epoch."""
+        return [period.allocation for period in self.periods]
+
 
 class MarketEconomySimulation:
     """Drives a scenario through a sequence of periodic auctions."""
@@ -106,6 +127,12 @@ class MarketEconomySimulation:
         self.engine = SimulationEngine()
         self.history = EconomyHistory()
         self._auction_counter = 0
+        # Reference points for the cumulative allocation metrics: everything a
+        # team holds beyond its starting quota counts as provisioned by the
+        # market, and surplus is judged against the capacity that was free
+        # before the first auction.
+        self._initial_index = scenario.pool_index
+        self._initial_holdings = scenario.platform.quotas.snapshot()
 
     # -- single-period mechanics ----------------------------------------------------------
     def _market_view(self) -> MarketView:
@@ -130,6 +157,14 @@ class MarketEconomySimulation:
         platform = self.scenario.platform
         self._auction_counter += 1
         utilization_before = platform.index.utilizations().copy()
+
+        # The demand current at this epoch (profiles grow between auctions);
+        # the same covering bundles the baseline mechanisms would be fed, so
+        # the shortage/surplus comparison is apples to apples.  Pure
+        # inspection: no RNG is consumed, round traces are unaffected.
+        epoch_requests = requests_from_demands(
+            platform.index, demands_from_agents(self.scenario.agents, platform.index)
+        )
 
         platform.open_bid_window()
         self._refresh_agent_state()
@@ -162,6 +197,14 @@ class MarketEconomySimulation:
         platform.update_pool_index(updated_index)
 
         trades = settled_trades(settlement)
+        allocation = allocation_metrics(
+            market_outcome_from_quota_delta(
+                self._initial_index,
+                epoch_requests,
+                self._initial_holdings,
+                platform.quotas.snapshot(),
+            )
+        )
         period = AuctionPeriodResult(
             auction_number=self._auction_counter,
             record=record,
@@ -173,6 +216,7 @@ class MarketEconomySimulation:
             utilization_before=utilization_before,
             utilization_after=updated_index.utilizations().copy(),
             migration=migration_summary(trades),
+            allocation=allocation,
         )
         self.history.periods.append(period)
         return period

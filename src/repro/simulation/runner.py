@@ -1,14 +1,17 @@
 """Parallel economy runner: fan independent scenarios out across a process pool.
 
 Each catalog scenario is an independent economy — its own fleet, population,
-seed, and auction sequence — so a sweep over scenarios (or over replicate
-seeds of one scenario) is embarrassingly parallel.  :class:`ParallelRunner`
-executes the jobs across a :class:`~concurrent.futures.ProcessPoolExecutor`,
-streams each finished result into an aggregation callback as it lands, and
-assembles a :class:`SweepReport` whose canonical JSON is **byte-identical**
-regardless of worker count or completion order: every job carries its own
-seed, results are ordered by submission, and wall-clock timings are kept out
-of the canonical report.
+seed, allocation mechanism, and auction sequence — so a sweep over scenarios
+(or over replicate seeds of one scenario, or over mechanisms) is
+embarrassingly parallel.  :class:`ParallelRunner` executes the jobs across a
+:class:`~concurrent.futures.ProcessPoolExecutor`, streams each finished
+result into an aggregation callback as it lands, and assembles a
+:class:`SweepReport` whose canonical JSON is **byte-identical** regardless of
+worker count or completion order: every job carries its own seed, results are
+ordered by submission, and wall-clock timings are kept out of the canonical
+report (each result's measured wall time rides along in the non-canonical
+``wall_time_seconds`` field, which the result store persists so later sweeps
+can schedule from measured costs).
 
 With ``workers=1`` (or when a process pool cannot be created) the runner
 falls back to plain serial execution of the very same job list, which is what
@@ -28,14 +31,16 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.baselines.comparison import utilization_imbalance
 from repro.simulation.catalog import ScenarioSpec
-from repro.simulation.economy import EconomyHistory, MarketEconomySimulation
+from repro.simulation.economy import EconomyHistory
 from repro.simulation.scenario import Scenario
 
 #: Significant digits kept in the canonical report (full float64 repr is
@@ -86,6 +91,22 @@ class ScenarioRunResult:
     migration: dict[str, float]
     #: Settled trades pooled across all auctions.
     trade_count: int
+    #: Allocation mechanism that produced the run (``market`` or a baseline).
+    mechanism: str = "market"
+    #: Cost-weighted capacity overcommitted beyond safe headroom per epoch —
+    #: the paper's "shortages in certain resource pools" (see
+    #: :func:`repro.baselines.comparison.utilization_imbalance`).
+    shortage_cost: list[float] = field(default_factory=list)
+    #: Cost-weighted capacity stranded idle per epoch — the paper's
+    #: "surpluses in certain resource pools".
+    surplus_cost: list[float] = field(default_factory=list)
+    #: Fraction of teams whose current demand is fully covered by the quota
+    #: the mechanism has provisioned so far, per epoch.
+    satisfied_fraction: list[float] = field(default_factory=list)
+    #: Measured wall time of the run in seconds.  Deliberately *not* part of
+    #: the canonical report (or equality): timings vary run to run, reports
+    #: must not.  The result store persists it for measured-cost scheduling.
+    wall_time_seconds: float | None = field(default=None, compare=False)
 
     @property
     def premium_drop(self) -> float:
@@ -103,6 +124,7 @@ class ScenarioRunResult:
             "scenario": self.scenario,
             "seed": self.seed,
             "engine": self.engine,
+            "mechanism": self.mechanism,
             "auctions": self.auctions,
             "clusters": self.clusters,
             "pools": self.pools,
@@ -117,6 +139,9 @@ class ScenarioRunResult:
             "utilization_spread": self.utilization_spread,
             "migration": self.migration,
             "trade_count": self.trade_count,
+            "shortage_cost": self.shortage_cost,
+            "surplus_cost": self.surplus_cost,
+            "satisfied_fraction": self.satisfied_fraction,
             "premium_drop": self.premium_drop,
             "utilization_spread_change": self.utilization_spread_change,
         }
@@ -126,6 +151,10 @@ class ScenarioRunResult:
         cls, spec: ScenarioSpec, scenario: Scenario, history: EconomyHistory
     ) -> "ScenarioRunResult":
         """Flatten a finished economy run into the plain trajectory record."""
+        imbalance = [
+            utilization_imbalance(scenario.pool_index, p.utilization_after)
+            for p in history.periods
+        ]
         return cls(
             scenario=spec.name,
             seed=spec.config.seed,
@@ -148,19 +177,28 @@ class ScenarioRunResult:
             utilization_spread=_round_list(history.utilization_spread_series()),
             migration={k: _round(v) for k, v in history.periods[-1].migration.items()},
             trade_count=len(history.all_trades()),
+            mechanism=spec.mechanism,
+            shortage_cost=_round_list(shortage for shortage, _ in imbalance),
+            surplus_cost=_round_list(surplus for _, surplus in imbalance),
+            satisfied_fraction=_round_list(
+                a.satisfied_fraction for a in history.allocation_series()
+            ),
         )
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioRunResult:
-    """Run one scenario start to finish in the current process."""
-    scenario = spec.build()
-    sim = MarketEconomySimulation(
-        scenario,
-        drift_scale=spec.drift_scale,
-        preliminary_runs=spec.preliminary_runs,
-    )
-    history = sim.run(spec.auctions)
-    return ScenarioRunResult.from_history(spec, scenario, history)
+    """Run one scenario start to finish in the current process.
+
+    Dispatches on ``spec.mechanism`` through the mechanism registry
+    (:mod:`repro.mechanisms`) and stamps the measured wall time onto the
+    result's non-canonical ``wall_time_seconds`` field.
+    """
+    from repro.mechanisms import get_mechanism
+
+    mechanism = get_mechanism(spec.mechanism)
+    start = time.perf_counter()
+    result = mechanism.run(spec)
+    return replace(result, wall_time_seconds=time.perf_counter() - start)
 
 
 def _run_job(spec: ScenarioSpec) -> ScenarioRunResult:
@@ -168,23 +206,82 @@ def _run_job(spec: ScenarioSpec) -> ScenarioRunResult:
     return run_scenario(spec)
 
 
-def longest_job_first(specs: Sequence[ScenarioSpec]) -> list[int]:
+def expand_mechanisms(
+    specs: Sequence[ScenarioSpec], mechanisms: Sequence[str]
+) -> list[ScenarioSpec]:
+    """The scenario x mechanism cross product, scenario-major.
+
+    >>> from repro.simulation.catalog import get_scenario
+    >>> expanded = expand_mechanisms([get_scenario("smoke")], ["market", "priority"])
+    >>> [(s.name, s.mechanism) for s in expanded]
+    [('smoke', 'market'), ('smoke', 'priority')]
+    """
+    if not mechanisms:
+        raise ValueError("expand_mechanisms needs at least one mechanism name")
+    return [
+        spec.with_overrides(mechanism=mechanism)
+        for spec in specs
+        for mechanism in mechanisms
+    ]
+
+
+def job_costs(
+    specs: Sequence[ScenarioSpec],
+    measured: Mapping[tuple[str, str, str, int], float] | None = None,
+) -> list[float]:
+    """Scheduling cost per spec: measured wall time where known, estimate otherwise.
+
+    ``measured`` maps ``(scenario, mechanism, engine, auctions)`` — a spec's
+    :meth:`~repro.simulation.catalog.ScenarioSpec.cost_key` — to observed
+    mean wall seconds (see
+    :meth:`repro.results.store.ResultStore.mean_wall_times`).  Static
+    estimates are in arbitrary work units, so jobs without a measurement get
+    their estimate rescaled into seconds by the mean seconds-per-unit ratio of
+    the jobs that *do* have one — keeping the two populations rankable against
+    each other instead of comparing seconds to unit counts.
+    """
+    estimates = [spec.cost_estimate() for spec in specs]
+    if not measured:
+        return estimates
+    ratios = [
+        measured[spec.cost_key()] / estimate
+        for spec, estimate in zip(specs, estimates)
+        if spec.cost_key() in measured and estimate > 0
+    ]
+    scale = float(np.mean(ratios)) if ratios else 1.0
+    return [
+        measured.get(spec.cost_key(), estimate * scale)
+        for spec, estimate in zip(specs, estimates)
+    ]
+
+
+def longest_job_first(
+    specs: Sequence[ScenarioSpec],
+    measured: Mapping[tuple[str, str, str, int], float] | None = None,
+) -> list[int]:
     """Submission order for a process pool: heaviest scenario first.
 
-    Returns indices into ``specs`` sorted by descending
-    :meth:`~repro.simulation.catalog.ScenarioSpec.cost_estimate` (stable for
-    ties).  Submitting the longest jobs first tightens the pool's makespan: a
-    10k-bidder stress scenario starts on a worker immediately instead of
-    becoming the tail after every quick scenario has already finished.  The
-    *report* order is unaffected — results are always assembled in the
-    caller's submission order.
+    Returns indices into ``specs`` sorted by descending cost (stable for
+    ties).  Cost is the observed mean wall time recorded in the result store
+    when one exists for the job's
+    :meth:`~repro.simulation.catalog.ScenarioSpec.cost_key`, else the static
+    :meth:`~repro.simulation.catalog.ScenarioSpec.cost_estimate` (see
+    :func:`job_costs`).  Submitting the longest jobs first tightens the
+    pool's makespan: a 10k-bidder stress scenario starts on a worker
+    immediately instead of becoming the tail after every quick scenario has
+    already finished.  The *report* order is unaffected — results are always
+    assembled in the caller's submission order.
 
     >>> from repro.simulation.catalog import get_scenario
     >>> specs = [get_scenario("smoke"), get_scenario("10k-bidder-stress")]
     >>> longest_job_first(specs)
     [1, 0]
+    >>> longest_job_first(specs, {specs[0].cost_key(): 60.0,
+    ...                           specs[1].cost_key(): 1.0})
+    [0, 1]
     """
-    return sorted(range(len(specs)), key=lambda i: (-specs[i].cost_estimate(), i))
+    costs = job_costs(specs, measured)
+    return sorted(range(len(specs)), key=lambda i: (-costs[i], i))
 
 
 @dataclass
@@ -199,16 +296,25 @@ class SweepReport:
     results: tuple[ScenarioRunResult, ...]
 
     def _result_keys(self) -> list[str]:
-        """One unique key per result: the scenario name, disambiguated by seed
-        for replicate runs and by submission position for exact duplicates."""
-        name_counts: dict[str, int] = {}
+        """One unique key per result: the scenario name, disambiguated by
+        mechanism for cross-mechanism sweeps, by seed for replicate runs, and
+        by submission position for exact duplicates.  Single-mechanism sweeps
+        produce exactly the keys they always did."""
+        mechanisms: dict[str, set[str]] = {}
+        pair_counts: dict[tuple[str, str], int] = {}
         for r in self.results:
-            name_counts[r.scenario] = name_counts.get(r.scenario, 0) + 1
+            mechanisms.setdefault(r.scenario, set()).add(r.mechanism)
+            pair = (r.scenario, r.mechanism)
+            pair_counts[pair] = pair_counts.get(pair, 0) + 1
         keys: list[str] = []
         used: set[str] = set()
         for r in self.results:
-            key = r.scenario if name_counts[r.scenario] == 1 else f"{r.scenario}@seed{r.seed}"
-            if key in used:  # same scenario AND same seed submitted twice
+            key = r.scenario
+            if len(mechanisms[r.scenario]) > 1:
+                key = f"{key}+{r.mechanism}"
+            if pair_counts[(r.scenario, r.mechanism)] > 1:
+                key = f"{key}@seed{r.seed}"
+            if key in used:  # same scenario, mechanism AND seed submitted twice
                 suffix = 2
                 while f"{key}#{suffix}" in used:
                     suffix += 1
@@ -283,12 +389,16 @@ class ParallelRunner:
         ``store`` is an optional :class:`repro.results.ResultStore`: each
         result is persisted as it lands, under ``code_version`` (derived from
         the working tree when ``None`` — see
-        :func:`repro.results.default_code_version`).
+        :func:`repro.results.default_code_version`), and the store's observed
+        mean wall times take precedence over static cost estimates when
+        ordering pool submission (measured-cost scheduling).
         """
         specs = list(specs)
+        measured: dict[tuple[str, str], float] = {}
         if store is not None:
             from repro.results.store import default_code_version
 
+            measured = store.mean_wall_times()
             version = code_version if code_version is not None else default_code_version()
             inner = on_result
 
@@ -303,7 +413,7 @@ class ParallelRunner:
         workers = self._resolve_workers(len(specs))
         if workers > 1:
             try:
-                self._fill_from_pool(specs, workers, results, on_result)
+                self._fill_from_pool(specs, workers, results, on_result, measured)
             except (OSError, PermissionError, BrokenExecutor):
                 # Process pools are unavailable (restricted sandbox) or a
                 # worker could not be forked mid-run; the serial path below
@@ -337,14 +447,14 @@ class ParallelRunner:
         )
 
     # -- execution paths -----------------------------------------------------------------
-    def _fill_from_pool(self, specs, workers, results, on_result) -> None:
+    def _fill_from_pool(self, specs, workers, results, on_result, measured=None) -> None:
         """Run the jobs across a pool, filling ``results`` slots as they land."""
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {}
             try:
                 # Heaviest jobs first: queue position decides makespan, the
                 # ``results`` slot index keeps the report in submission order.
-                for i in longest_job_first(specs):
+                for i in longest_job_first(specs, measured):
                     future = pool.submit(_run_job, specs[i])
                     pending[future] = i
                 while pending:

@@ -30,8 +30,11 @@ def fake_run_result():
         scenario="tiny",
         seed=0,
         engine="auto",
+        mechanism="market",
         trade_count=5,
         revenue=(100.0, 140.0),
+        shortage_cost=(60.0, 40.0),
+        wall_time_seconds=None,
     ):
         return ScenarioRunResult(
             scenario=scenario,
@@ -51,6 +54,11 @@ def fake_run_result():
             utilization_spread=[0.2, 0.1],
             migration={},
             trade_count=trade_count,
+            mechanism=mechanism,
+            shortage_cost=list(shortage_cost),
+            surplus_cost=[90.0, 70.0],
+            satisfied_fraction=[0.5, 0.8],
+            wall_time_seconds=wall_time_seconds,
         )
 
     return build

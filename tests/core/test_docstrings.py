@@ -5,8 +5,9 @@ bidlang, cluster, or simulation docstring actually runs; this test executes
 them all with :mod:`doctest` so an API change that breaks an example breaks
 the tier-1 suite, not just the rendered docs.  The simulation sweep covers
 the scenario catalog and parallel runner modules; :mod:`repro.results`
-(the persistent result store and replicate statistics) and :mod:`repro.cli`
-are included so the ``python -m repro`` and store examples stay honest.
+(the persistent result store and replicate statistics), :mod:`repro.mechanisms`
+(the allocation-mechanism registry), and :mod:`repro.cli` are included so the
+``python -m repro``, store, and mechanism examples stay honest.
 """
 
 import doctest
@@ -18,6 +19,7 @@ import pytest
 import repro.bidlang
 import repro.cluster
 import repro.core
+import repro.mechanisms
 import repro.results
 import repro.simulation
 
@@ -36,6 +38,7 @@ MODULES = sorted(
         + _modules_of(repro.cluster)
         + _modules_of(repro.simulation)
         + _modules_of(repro.results)
+        + _modules_of(repro.mechanisms)
         + ["repro.cli"]
     )
 )

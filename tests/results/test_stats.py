@@ -164,3 +164,138 @@ class TestMetricRegistry:
     def test_invalid_direction_rejected(self):
         with pytest.raises(ValueError):
             MetricDef("bogus", "sideways", "no such direction", lambda r: 0.0)
+
+
+class TestCompareMechanisms:
+    """The cross-mechanism statistical comparison behind compare-mechanisms."""
+
+    def seeded_store(self, fake_run_result):
+        from repro.results.store import ResultStore
+
+        store = ResultStore(":memory:")
+        for seed in (0, 1, 2):
+            store.record(
+                fake_run_result(seed=seed, shortage_cost=(60.0, 40.0)),
+                code_version="v1",
+            )
+            store.record(
+                fake_run_result(
+                    seed=seed, mechanism="fixed-price", shortage_cost=(200.0, 180.0)
+                ),
+                code_version="v1",
+            )
+            store.record(
+                fake_run_result(
+                    seed=seed, mechanism="priority", shortage_cost=(220.0, 190.0)
+                ),
+                code_version="v1",
+            )
+        return store
+
+    def test_market_leads_lower_is_better_metric(self, fake_run_result):
+        from repro.results.stats import compare_mechanisms
+
+        with self.seeded_store(fake_run_result) as store:
+            report = compare_mechanisms(store, "tiny")
+        assert report.mechanisms[0] == "market"  # market leads the display order
+        assert set(report.mechanisms) == {"market", "fixed-price", "priority"}
+        assert report.best("shortage_cost") == "market"
+        assert report.market_leads("shortage_cost")
+        stats = report.metric_stats["shortage_cost"]
+        assert stats["market"].mean == 40.0  # final-epoch value per replicate
+        assert stats["fixed-price"].mean == 180.0
+
+    def test_neutral_metrics_have_no_best(self, fake_run_result):
+        from repro.results.stats import compare_mechanisms
+
+        with self.seeded_store(fake_run_result) as store:
+            report = compare_mechanisms(store, "tiny")
+        assert report.directions["trade_count"] == "neutral"
+        assert report.best("trade_count") is None
+        assert not report.market_leads("trade_count")
+
+    def test_tied_metrics_have_no_best(self, fake_run_result):
+        from repro.results.stats import compare_mechanisms
+
+        with self.seeded_store(fake_run_result) as store:
+            report = compare_mechanisms(store, "tiny")
+        # total_revenue is identical across the injected mechanisms: a tie.
+        assert report.best("total_revenue") is None
+
+    def test_explicit_mechanism_subset(self, fake_run_result):
+        from repro.results.stats import compare_mechanisms
+
+        with self.seeded_store(fake_run_result) as store:
+            report = compare_mechanisms(
+                store, "tiny", mechanisms=["market", "priority"]
+            )
+        assert report.mechanisms == ("market", "priority")
+
+    def test_single_mechanism_store_is_an_error(self, fake_run_result):
+        from repro.results.store import ResultStore
+        from repro.results.stats import compare_mechanisms
+
+        with ResultStore(":memory:") as store:
+            store.record(fake_run_result(), code_version="v1")
+            with pytest.raises(ValueError, match="at least two"):
+                compare_mechanisms(store, "tiny")
+
+    def test_empty_store_is_an_error(self, fake_run_result):
+        from repro.results.store import ResultStore
+        from repro.results.stats import compare_mechanisms
+
+        with ResultStore(":memory:") as store:
+            with pytest.raises(ValueError, match="no stored runs"):
+                compare_mechanisms(store, "tiny")
+
+    def test_to_dict_is_json_serialisable(self, fake_run_result):
+        import json
+
+        from repro.results.stats import compare_mechanisms
+
+        with self.seeded_store(fake_run_result) as store:
+            payload = compare_mechanisms(store, "tiny").to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["metrics"]["shortage_cost"]["best"] == "market"
+
+
+class TestCompareVersionsAcrossStores:
+    """compare_versions with a separate baseline store (the CI cross-PR gate)."""
+
+    def test_baseline_side_reads_from_the_other_store(self, fake_run_result):
+        from repro.results.store import ResultStore
+        from repro.results.stats import compare_versions
+
+        with ResultStore(":memory:") as baseline_store, ResultStore(":memory:") as store:
+            baseline_store.record(fake_run_result(revenue=(100.0, 140.0)), code_version="pr-1")
+            store.record(fake_run_result(revenue=(10.0, 14.0)), code_version="pr-2")
+            report = compare_versions(
+                store,
+                "tiny",
+                baseline_version="pr-1",
+                candidate_version="pr-2",
+                baseline_store=baseline_store,
+            )
+        assert not report.ok
+        assert "total_revenue" in [c.metric for c in report.regressions]
+
+
+class TestCompareMechanismsVersionScoping:
+    def test_default_mechanism_list_is_scoped_to_the_compared_version(
+        self, fake_run_result
+    ):
+        # priority exists only under the older v1; the latest-version
+        # comparison must cover the mechanisms v2 actually has.
+        from repro.results.store import ResultStore
+        from repro.results.stats import compare_mechanisms
+
+        with ResultStore(":memory:") as store:
+            store.record(fake_run_result(seed=0), code_version="v1")
+            store.record(fake_run_result(seed=0, mechanism="priority"), code_version="v1")
+            store.record(fake_run_result(seed=0), code_version="v2")
+            store.record(
+                fake_run_result(seed=0, mechanism="proportional"), code_version="v2"
+            )
+            report = compare_mechanisms(store, "tiny")
+        assert report.code_version == "v2"
+        assert set(report.mechanisms) == {"market", "proportional"}

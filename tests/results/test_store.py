@@ -62,7 +62,7 @@ class TestRecordAndQuery:
         with ResultStore(":memory:") as store:
             result = fake_run_result()
             stored = store.record(result, code_version="v1")
-            assert stored.key == ("tiny", 0, "v1", "auto")
+            assert stored.key == ("tiny", 0, "v1", "auto", "market")
             (run,) = store.runs()
             assert run.result == result.to_dict()
             assert run.metrics == run_metrics(result)
@@ -81,7 +81,8 @@ class TestRecordAndQuery:
             store.record(fake_run_result(seed=1), code_version="v1")
             store.record(fake_run_result(seed=0), code_version="v2")
             store.record(fake_run_result(seed=0, engine="batch"), code_version="v1")
-            assert len(store) == 4
+            store.record(fake_run_result(seed=0, mechanism="priority"), code_version="v1")
+            assert len(store) == 5
 
     def test_filtered_queries(self, fake_run_result):
         with ResultStore(":memory:") as store:
@@ -128,6 +129,45 @@ class TestRecordAndQuery:
             values = store.replicate_metrics("tiny", engine="batch")
             assert values["trade_count"] == [5.0]
 
+    def test_replicate_metrics_refuse_to_pool_mechanisms(self, fake_run_result):
+        # Mechanisms are different economies entirely; pooling them would
+        # average a market with a quota policy.
+        with ResultStore(":memory:") as store:
+            store.record(fake_run_result(seed=0), code_version="v1")
+            store.record(fake_run_result(seed=0, mechanism="priority"), code_version="v1")
+            with pytest.raises(ValueError, match="span mechanisms"):
+                store.replicate_metrics("tiny")
+            values = store.replicate_metrics("tiny", mechanism="priority")
+            assert values["trade_count"] == [5.0]
+
+    def test_mechanisms_listing(self, fake_run_result):
+        with ResultStore(":memory:") as store:
+            store.record(fake_run_result(seed=0), code_version="v1")
+            store.record(fake_run_result(seed=0, mechanism="fixed-price"), code_version="v1")
+            assert store.mechanisms() == ["fixed-price", "market"]
+
+    def test_wall_time_persists_and_averages(self, fake_run_result):
+        with ResultStore(":memory:") as store:
+            store.record(fake_run_result(seed=0, wall_time_seconds=2.0), code_version="v1")
+            store.record(fake_run_result(seed=1, wall_time_seconds=4.0), code_version="v1")
+            store.record(
+                fake_run_result(seed=0, mechanism="priority", wall_time_seconds=0.5),
+                code_version="v1",
+            )
+            runs = store.runs(mechanism="market")
+            assert [r.wall_time for r in runs] == [2.0, 4.0]
+            # keyed like ScenarioSpec.cost_key(): engine and auction count
+            # distinguish differently-shaped runs of the same scenario
+            assert store.mean_wall_times() == {
+                ("tiny", "market", "auto", 2): 3.0,
+                ("tiny", "priority", "auto", 2): 0.5,
+            }
+
+    def test_unmeasured_runs_are_absent_from_mean_wall_times(self, fake_run_result):
+        with ResultStore(":memory:") as store:
+            store.record(fake_run_result(seed=0), code_version="v1")  # no wall time
+            assert store.mean_wall_times() == {}
+
     def test_summary_groups_by_scenario_version_engine(self, fake_run_result):
         with ResultStore(":memory:") as store:
             store.record(fake_run_result(seed=0), code_version="v1")
@@ -151,6 +191,76 @@ class TestRecordAndQuery:
         with ResultStore(path) as store:
             (run,) = store.runs()
             assert run.code_version == "v1"
+
+
+class TestPreMechanismMigration:
+    """Stores written before the mechanism dimension are migrated on open."""
+
+    _OLD_SCHEMA = """
+    CREATE TABLE runs (
+        id           INTEGER PRIMARY KEY,
+        scenario     TEXT    NOT NULL,
+        seed         INTEGER NOT NULL,
+        code_version TEXT    NOT NULL,
+        engine       TEXT    NOT NULL,
+        auctions     INTEGER NOT NULL,
+        recorded_at  TEXT    NOT NULL,
+        result_json  TEXT    NOT NULL,
+        UNIQUE (scenario, seed, code_version, engine)
+    );
+    CREATE TABLE metrics (
+        run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+        metric TEXT    NOT NULL,
+        value  REAL    NOT NULL,
+        PRIMARY KEY (run_id, metric)
+    );
+    CREATE INDEX idx_runs_scenario ON runs (scenario, code_version, engine);
+    """
+
+    def old_store(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(self._OLD_SCHEMA)
+        conn.execute(
+            "INSERT INTO runs (scenario, seed, code_version, engine, auctions,"
+            " recorded_at, result_json) VALUES ('smoke', 0, 'pr-3', 'auto', 2,"
+            " '2026-01-01T00:00:00', '{}')"
+        )
+        conn.execute(
+            "INSERT INTO metrics (run_id, metric, value) VALUES (1, 'total_revenue', 240.0)"
+        )
+        conn.commit()
+        conn.close()
+        return path
+
+    def test_old_rows_rekey_as_market_runs(self, tmp_path):
+        path = self.old_store(tmp_path)
+        with ResultStore(path) as store:
+            (run,) = store.runs()
+            assert run.mechanism == "market"
+            assert run.wall_time is None
+            assert run.run_id == 1  # ids survive, so metrics rows still attach
+            assert run.metrics == {"total_revenue": 240.0}
+
+    def test_migrated_store_accepts_mechanism_variants_of_the_same_key(
+        self, tmp_path, fake_run_result
+    ):
+        path = self.old_store(tmp_path)
+        with ResultStore(path) as store:
+            store.record(
+                fake_run_result(scenario="smoke", seed=0, mechanism="priority"),
+                code_version="pr-3",
+            )
+            assert len(store) == 2  # old unique key would have rejected this
+
+    def test_migration_is_idempotent(self, tmp_path):
+        path = self.old_store(tmp_path)
+        with ResultStore(path):
+            pass
+        with ResultStore(path) as store:  # second open must not re-migrate
+            assert len(store) == 1
 
 
 class TestRunnerIntegration:
@@ -207,3 +317,46 @@ class TestDefaults:
             store.record(fake_run_result(), code_version="v1")
             (run,) = store.runs()
             assert json.dumps(run.result)  # JSON-serialisable all the way down
+
+
+class TestSpanChecksHonourFilters:
+    def test_mechanism_filter_narrows_the_engine_span_check(self, fake_run_result):
+        # priority rows all share one engine; a different mechanism's engine
+        # must not force an --engine flag onto the selection.
+        with ResultStore(":memory:") as store:
+            store.record(fake_run_result(seed=0, engine="batch"), code_version="v1")
+            store.record(
+                fake_run_result(seed=0, engine="scalar", mechanism="priority"),
+                code_version="v1",
+            )
+            values = store.replicate_metrics("tiny", mechanism="priority")
+            assert values["trade_count"] == [5.0]
+
+    def test_engine_filter_narrows_the_mechanism_span_check(self, fake_run_result):
+        with ResultStore(":memory:") as store:
+            store.record(fake_run_result(seed=0, engine="batch"), code_version="v1")
+            store.record(
+                fake_run_result(seed=0, engine="scalar", mechanism="priority"),
+                code_version="v1",
+            )
+            values = store.replicate_metrics("tiny", engine="scalar")
+            assert values["trade_count"] == [5.0]
+
+    def test_mechanisms_listing_filters_by_code_version(self, fake_run_result):
+        with ResultStore(":memory:") as store:
+            store.record(fake_run_result(seed=0, mechanism="priority"), code_version="v1")
+            store.record(fake_run_result(seed=0), code_version="v2")
+            assert store.mechanisms(scenario="tiny") == ["market", "priority"]
+            assert store.mechanisms(scenario="tiny", code_version="v2") == ["market"]
+
+
+class TestEmptySeriesAreAClearError:
+    def test_record_without_allocation_series_raises_readably(self, fake_run_result):
+        import dataclasses
+
+        result = dataclasses.replace(
+            fake_run_result(), shortage_cost=[], surplus_cost=[], satisfied_fraction=[]
+        )
+        with ResultStore(":memory:") as store:
+            with pytest.raises(ValueError, match="shortage_cost"):
+                store.record(result, code_version="v1")

@@ -145,3 +145,39 @@ class TestExperimentConfigBridge:
         scenario_config = config.scenario_config()
         assert scenario_config.fleet.cluster_count == 3
         assert scenario_config.population.team_count == 5
+
+
+class TestMechanismField:
+    def test_default_mechanism_is_market(self):
+        assert get_scenario("paper-reference").mechanism == "market"
+
+    def test_with_overrides_replaces_mechanism(self):
+        spec = get_scenario("smoke")
+        out = spec.with_overrides(mechanism="fixed-price")
+        assert out.mechanism == "fixed-price"
+        assert spec.mechanism == "market"  # original untouched
+        # other knobs survive the mechanism override
+        assert out.config == spec.config and out.auctions == spec.auctions
+
+    def test_invalid_mechanism_name_rejected(self):
+        with pytest.raises(ValueError, match="mechanism"):
+            ScenarioSpec(
+                name="ok", description="x", config=tiny_config(), mechanism="Not Kebab"
+            )
+
+    def test_summary_carries_the_mechanism(self):
+        spec = get_scenario("smoke").with_overrides(mechanism="proportional")
+        assert spec.summary()["mechanism"] == "proportional"
+
+    def test_baseline_cost_estimate_is_discounted(self):
+        spec = get_scenario("paper-reference")
+        market_cost = spec.cost_estimate()
+        baseline_cost = spec.with_overrides(mechanism="priority").cost_estimate()
+        assert baseline_cost == pytest.approx(market_cost * ScenarioSpec.BASELINE_COST_FACTOR)
+
+    def test_cost_key_identifies_the_job_shape(self):
+        # Scenario + mechanism + engine + auction count: a one-auction smoke
+        # of a scenario is a different job than its full run.
+        spec = get_scenario("smoke").with_overrides(mechanism="fixed-price")
+        assert spec.cost_key() == ("smoke", "fixed-price", "auto", 3)
+        assert spec.with_overrides(auctions=1).cost_key() != spec.cost_key()

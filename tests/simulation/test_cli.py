@@ -257,3 +257,184 @@ class TestResultsVerbs:
         out = capsys.readouterr().out
         assert "smoke @ test-version (2 replicate(s))" in out
         assert "mean_settled_fraction" in out
+
+
+class TestMechanismCLI:
+    def test_run_with_explicit_mechanism_persists_provenance(self, tmp_path, capsys):
+        db = tmp_path / "store.sqlite"
+        assert main(["run", "smoke", "--workers", "1", "--auctions", "1",
+                     "--mechanism", "fixed-price", "--db", str(db)]) == 0
+        with ResultStore(db) as store:
+            (run,) = store.runs()
+            assert run.mechanism == "fixed-price"
+            assert run.wall_time is not None
+
+    def test_run_with_all_mechanisms_crosses_replicates(self, tmp_path, capsys):
+        db = tmp_path / "store.sqlite"
+        assert main(["run", "smoke", "--workers", "1", "--auctions", "1",
+                     "--mechanism", "all", "--replicates", "2", "--db", str(db)]) == 0
+        with ResultStore(db) as store:
+            assert len(store) == 8  # 4 mechanisms x 2 replicate seeds
+            assert store.mechanisms() == sorted(
+                ["market", "fixed-price", "priority", "proportional"]
+            )
+
+    def test_unknown_mechanism_exits_2_with_available_list(self, capsys):
+        assert main(["run", "smoke", "--mechanism", "bogus"]) == 2
+        assert "fixed-price" in capsys.readouterr().err
+
+    def test_sweep_mechanism_cross_product(self, tmp_path, capsys):
+        db = tmp_path / "store.sqlite"
+        assert main(["sweep", "smoke", "--workers", "1", "--auctions", "1",
+                     "--mechanism", "market,priority", "--db", str(db), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [(s["scenario"], s["mechanism"]) for s in report["scenarios"]] == [
+            ("smoke", "market"),
+            ("smoke", "priority"),
+        ]
+
+    def test_results_list_shows_mechanism_column(self, tmp_path, capsys, fake_run_result):
+        db = tmp_path / "store.sqlite"
+        with ResultStore(db) as store:
+            store.record(fake_run_result(mechanism="proportional"), code_version="v1")
+        assert main(["results", "list", "--db", str(db)]) == 0
+        assert "proportional" in capsys.readouterr().out
+
+    def test_results_show_mechanism_filter(self, tmp_path, capsys, fake_run_result):
+        db = tmp_path / "store.sqlite"
+        with ResultStore(db) as store:
+            store.record(fake_run_result(), code_version="v1")
+            store.record(fake_run_result(mechanism="priority"), code_version="v1")
+        assert main(["results", "show", "smoke", "--db", str(db)]) == 2  # wrong scenario
+        assert main(["results", "show", "tiny", "--db", str(db)]) == 2  # spans mechanisms
+        assert "span mechanisms" in capsys.readouterr().err
+        assert main(["results", "show", "tiny", "--db", str(db),
+                     "--mechanism", "priority"]) == 0
+
+
+class TestCompareMechanismsCLI:
+    def seeded_db(self, tmp_path, fake_run_result):
+        db = tmp_path / "store.sqlite"
+        with ResultStore(db) as store:
+            for seed in (0, 1):
+                store.record(
+                    fake_run_result(seed=seed, shortage_cost=(60.0, 40.0)),
+                    code_version="v1",
+                )
+                store.record(
+                    fake_run_result(seed=seed, mechanism="fixed-price",
+                                    shortage_cost=(200.0, 180.0)),
+                    code_version="v1",
+                )
+        return db
+
+    def test_verb_renders_market_vs_baseline_table(self, tmp_path, capsys, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["compare-mechanisms", "tiny", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "shortage_cost" in out
+        assert "market leads on:" in out
+        assert "shortage_cost" in out.split("market leads on:")[1]
+
+    def test_verb_json_mode(self, tmp_path, capsys, fake_run_result):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["compare-mechanisms", "tiny", "--db", str(db), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["shortage_cost"]["best"] == "market"
+        assert payload["mechanisms"][0] == "market"
+
+    def test_results_compare_across_mechanisms_is_the_same_report(
+        self, tmp_path, capsys, fake_run_result
+    ):
+        db = self.seeded_db(tmp_path, fake_run_result)
+        assert main(["results", "compare", "tiny", "--db", str(db),
+                     "--across", "mechanisms", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["shortage_cost"]["best"] == "market"
+
+    def test_single_mechanism_store_exits_2(self, tmp_path, capsys, fake_run_result):
+        db = tmp_path / "store.sqlite"
+        with ResultStore(db) as store:
+            store.record(fake_run_result(), code_version="v1")
+        assert main(["compare-mechanisms", "tiny", "--db", str(db)]) == 2
+        assert "at least two" in capsys.readouterr().err
+
+
+class TestBaselineDbCompare:
+    """results compare --baseline-db: the cross-PR CI regression gate."""
+
+    def test_regression_against_previous_store_exits_3(
+        self, tmp_path, capsys, fake_run_result
+    ):
+        previous = tmp_path / "previous.sqlite"
+        current = tmp_path / "current.sqlite"
+        with ResultStore(previous) as store:
+            store.record(fake_run_result(revenue=(100.0, 140.0)), code_version="pr-1")
+        with ResultStore(current) as store:
+            store.record(fake_run_result(revenue=(10.0, 14.0)), code_version="pr-2")
+        code = main(["results", "compare", "tiny", "--db", str(current),
+                     "--baseline-db", str(previous)])
+        assert code == EXIT_REGRESSION
+        captured = capsys.readouterr()
+        assert "total_revenue" in captured.err
+        assert "pr-1" in captured.out  # baseline label came from the other store
+
+    def test_clean_cross_store_compare_exits_0(self, tmp_path, capsys, fake_run_result):
+        previous = tmp_path / "previous.sqlite"
+        current = tmp_path / "current.sqlite"
+        with ResultStore(previous) as store:
+            store.record(fake_run_result(), code_version="pr-1")
+        with ResultStore(current) as store:
+            store.record(fake_run_result(), code_version="pr-2")
+        assert main(["results", "compare", "tiny", "--db", str(current),
+                     "--baseline-db", str(previous)]) == 0
+
+    def test_missing_baseline_store_exits_2(self, tmp_path, capsys, fake_run_result):
+        current = tmp_path / "current.sqlite"
+        with ResultStore(current) as store:
+            store.record(fake_run_result(), code_version="pr-2")
+        assert main(["results", "compare", "tiny", "--db", str(current),
+                     "--baseline-db", str(tmp_path / "nope.sqlite")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_baseline_store_without_the_scenario_exits_2(
+        self, tmp_path, capsys, fake_run_result
+    ):
+        previous = tmp_path / "previous.sqlite"
+        current = tmp_path / "current.sqlite"
+        with ResultStore(previous) as store:
+            store.record(fake_run_result(scenario="other"), code_version="pr-1")
+        with ResultStore(current) as store:
+            store.record(fake_run_result(), code_version="pr-2")
+        assert main(["results", "compare", "tiny", "--db", str(current),
+                     "--baseline-db", str(previous)]) == 2
+        assert "holds no runs" in capsys.readouterr().err
+
+
+class TestAcrossMechanismsRejectsGateFlags:
+    def test_version_only_flags_are_usage_errors(self, tmp_path, capsys, fake_run_result):
+        """--across mechanisms must not silently absorb gate flags: a CI job
+        passing --baseline-db or --tolerance would otherwise go no-op green."""
+        db = tmp_path / "store.sqlite"
+        with ResultStore(db) as store:
+            store.record(fake_run_result(), code_version="v1")
+            store.record(fake_run_result(mechanism="priority"), code_version="v1")
+        for extra in (["--baseline", "v1"], ["--candidate", "v1"],
+                      ["--tolerance", "0.1"], ["--baseline-db", str(db)]):
+            assert main(["results", "compare", "tiny", "--db", str(db),
+                         "--across", "mechanisms", *extra]) == 2
+            assert "--across versions" in capsys.readouterr().err
+
+
+class TestAcrossMechanismsSingleSelection:
+    def test_single_name_selection_gets_a_directive_error(
+        self, tmp_path, capsys, fake_run_result
+    ):
+        db = tmp_path / "store.sqlite"
+        with ResultStore(db) as store:
+            store.record(fake_run_result(), code_version="v1")
+            store.record(fake_run_result(mechanism="priority"), code_version="v1")
+        assert main(["results", "compare", "tiny", "--db", str(db),
+                     "--across", "mechanisms", "--mechanism", "market"]) == 2
+        err = capsys.readouterr().err
+        assert "comma list" in err

@@ -192,3 +192,160 @@ class TestSweepReport:
         report = ParallelRunner(workers=1).run_specs([spec])
         assert report.results[0].scenario == "smoke"
         assert report.results[0].trade_count > 0
+
+
+class TestMechanismDimension:
+    def test_expand_mechanisms_cross_product_is_scenario_major(self):
+        from repro.simulation.runner import expand_mechanisms
+
+        specs = [tiny_spec("tiny-a"), tiny_spec("tiny-b")]
+        expanded = expand_mechanisms(specs, ["market", "priority"])
+        assert [(s.name, s.mechanism) for s in expanded] == [
+            ("tiny-a", "market"),
+            ("tiny-a", "priority"),
+            ("tiny-b", "market"),
+            ("tiny-b", "priority"),
+        ]
+
+    def test_expand_mechanisms_requires_names(self):
+        from repro.simulation.runner import expand_mechanisms
+
+        with pytest.raises(ValueError):
+            expand_mechanisms([tiny_spec()], [])
+
+    def test_mixed_mechanism_keys_disambiguate_by_mechanism(self):
+        from repro.simulation.runner import expand_mechanisms
+
+        specs = expand_mechanisms([tiny_spec()], ["market", "priority"])
+        report = ParallelRunner(workers=1).run_specs(specs)
+        drops = report.aggregate()["premium_drop"]
+        assert sorted(drops) == ["tiny+market", "tiny+priority"]
+
+    def test_single_mechanism_keys_are_unchanged(self):
+        # Market-only sweeps must keep their historical aggregate keys.
+        report = ParallelRunner(workers=1).run_replicates(tiny_spec(seed=10), 2)
+        assert sorted(report.aggregate()["premium_drop"]) == [
+            "tiny@seed10",
+            "tiny@seed11",
+        ]
+
+    def test_mechanism_and_replicates_compose_in_keys(self):
+        from repro.simulation.runner import expand_mechanisms
+
+        specs = [
+            s.with_overrides(seed=s.config.seed + i)
+            for s in expand_mechanisms([tiny_spec(seed=10)], ["market", "priority"])
+            for i in range(2)
+        ]
+        report = ParallelRunner(workers=1).run_specs(specs)
+        assert sorted(report.aggregate()["premium_drop"]) == [
+            "tiny+market@seed10",
+            "tiny+market@seed11",
+            "tiny+priority@seed10",
+            "tiny+priority@seed11",
+        ]
+
+
+class TestWallTimes:
+    def test_run_scenario_stamps_a_wall_time(self):
+        result = run_scenario(tiny_spec())
+        assert result.wall_time_seconds is not None and result.wall_time_seconds > 0
+
+    def test_wall_time_stays_out_of_the_canonical_report(self):
+        result = run_scenario(tiny_spec())
+        assert "wall_time" not in json.dumps(result.to_dict())
+
+    def test_wall_time_is_excluded_from_equality(self):
+        import dataclasses
+
+        a = run_scenario(tiny_spec(seed=5))
+        assert dataclasses.replace(a, wall_time_seconds=99.0) == a
+
+
+class TestMeasuredCostScheduling:
+    def test_job_costs_prefer_measured_wall_times(self):
+        from repro.simulation.runner import job_costs
+
+        small = tiny_spec("small", auctions=1)
+        big = tiny_spec("big", auctions=3)
+        measured = {small.cost_key(): 60.0, big.cost_key(): 1.0}
+        assert job_costs([small, big], measured) == [60.0, 1.0]
+
+    def test_unmeasured_jobs_are_rescaled_into_seconds(self):
+        from repro.simulation.runner import job_costs
+
+        measured_spec = tiny_spec("known", auctions=2)
+        unknown = tiny_spec("unknown", auctions=4)  # 2x the static estimate
+        measured = {measured_spec.cost_key(): 10.0}
+        costs = job_costs([measured_spec, unknown], measured)
+        assert costs[0] == 10.0
+        # unknown's estimate is scaled by known's seconds-per-unit ratio: 2x
+        assert costs[1] == pytest.approx(20.0)
+
+    def test_no_measurements_falls_back_to_static_estimates(self):
+        from repro.simulation.runner import job_costs
+
+        specs = [tiny_spec("a", auctions=1), tiny_spec("b", auctions=2)]
+        assert job_costs(specs, {}) == [s.cost_estimate() for s in specs]
+
+    def test_longest_job_first_flips_under_measured_costs(self):
+        small = tiny_spec("small", auctions=1)
+        big = tiny_spec("big", auctions=3)
+        assert longest_job_first([small, big]) == [1, 0]
+        measured = {small.cost_key(): 60.0, big.cost_key(): 1.0}
+        assert longest_job_first([small, big], measured) == [0, 1]
+
+    def test_measurements_of_a_different_job_shape_are_ignored(self):
+        # A one-auction smoke of a heavy scenario must not stand in for the
+        # full job's cost: the cost key includes engine and auction count.
+        from repro.simulation.runner import job_costs
+
+        full = tiny_spec("heavy", auctions=3)
+        smoke_of_it = full.with_overrides(auctions=1)
+        measured = {smoke_of_it.cost_key(): 0.001}  # fast because it is tiny
+        assert job_costs([full], measured) == [full.cost_estimate()]
+
+    def test_pool_submission_prefers_store_measurements(self, monkeypatch, tmp_path):
+        """A store with observed wall times reorders pool submission."""
+        import repro.simulation.runner as runner_mod
+        from concurrent.futures import Future
+        from repro.results.store import ResultStore
+
+        submitted: list[str] = []
+
+        class FakeExecutor:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, spec):
+                submitted.append(spec.name)
+                future = Future()
+                future.set_result(fn(spec))
+                return future
+
+            def shutdown(self, **kwargs):
+                pass
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", FakeExecutor)
+        small = tiny_spec("small", seed=1, auctions=1)
+        big = tiny_spec("big", seed=2, auctions=3)
+        with ResultStore(tmp_path / "measured.sqlite") as store:
+            # Seed observed costs that contradict the static estimates.
+            import dataclasses
+
+            store.record(
+                dataclasses.replace(run_scenario(small), wall_time_seconds=60.0),
+                code_version="v0",
+            )
+            store.record(
+                dataclasses.replace(run_scenario(big), wall_time_seconds=1.0),
+                code_version="v0",
+            )
+            ParallelRunner(workers=2).run_specs([small, big], store=store)
+        assert submitted == ["small", "big"]  # measured order, not estimate order

@@ -1,0 +1,71 @@
+"""Repository hygiene: the local result store must never enter version control.
+
+``python -m repro run/sweep`` persists into ``./repro_results.sqlite`` by
+default, right where a contributor is most likely to run it — the repository
+root.  A binary store committed by accident churns every diff and leaks one
+machine's local run history into everyone's checkout, so these tests pin the
+two lines of defence: the ``.gitignore`` rule must cover the default DB path
+(and sqlite side files), and the git index must stay free of sqlite files.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.results.store import DEFAULT_DB_NAME, default_db_path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        ["git", *args], cwd=REPO_ROOT, capture_output=True, text=True, timeout=30
+    )
+
+
+def _require_git_checkout() -> None:
+    try:
+        probe = _git("rev-parse", "--is-inside-work-tree")
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - no git binary
+        pytest.skip("git is not available")
+    if probe.returncode != 0 or probe.stdout.strip() != "true":
+        pytest.skip("not running from a git checkout")
+
+
+class TestGitignoreCoversTheDefaultStore:
+    def test_gitignore_names_the_default_db_file(self):
+        lines = (REPO_ROOT / ".gitignore").read_text().splitlines()
+        assert DEFAULT_DB_NAME in lines
+
+    def test_default_db_path_resolves_to_the_ignored_name(self, monkeypatch):
+        # The conftest pins $REPRO_RESULTS_DB for test isolation; drop it to
+        # see what a contributor's bare `python -m repro run` would write.
+        monkeypatch.delenv("REPRO_RESULTS_DB", raising=False)
+        assert default_db_path().name == DEFAULT_DB_NAME
+
+    def test_git_check_ignore_accepts_the_default_path(self):
+        _require_git_checkout()
+        result = _git("check-ignore", "--quiet", DEFAULT_DB_NAME)
+        assert result.returncode == 0, (
+            f"git does not ignore {DEFAULT_DB_NAME}; add it to .gitignore"
+        )
+
+    def test_git_check_ignore_accepts_sqlite_side_files(self):
+        _require_git_checkout()
+        result = _git("check-ignore", "--quiet", f"{DEFAULT_DB_NAME}-journal")
+        assert result.returncode == 0
+
+
+class TestNoStoreFilesTracked:
+    def test_no_sqlite_files_in_the_git_index(self):
+        _require_git_checkout()
+        tracked = _git("ls-files").stdout.splitlines()
+        offenders = [
+            name
+            for name in tracked
+            if name.endswith((".sqlite", ".sqlite-journal", ".db"))
+        ]
+        assert offenders == [], f"result stores committed to git: {offenders}"
