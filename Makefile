@@ -1,6 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
+# Port the smoke target's remote-backend leg listens on (localhost only).
+SMOKE_PORT ?= 7351
+
 .PHONY: test doctest bench bench-smoke smoke check
 
 ## tier-1: full unit/property/integration suite plus quick benchmarks
@@ -9,7 +12,7 @@ test:
 
 ## run every docstring example in the documented packages
 doctest:
-	$(PYTHON) -m pytest --doctest-modules src/repro/core src/repro/bidlang src/repro/cluster src/repro/simulation src/repro/results src/repro/mechanisms src/repro/cli.py -q
+	$(PYTHON) -m pytest --doctest-modules src/repro/core src/repro/bidlang src/repro/cluster src/repro/simulation src/repro/results src/repro/mechanisms src/repro/exec src/repro/cli.py -q
 
 ## paper-scale benchmarks (regenerates the paper's tables/figures)
 bench:
@@ -23,7 +26,11 @@ bench-smoke:
 ## the runs persist into the result store — market and one baseline, so the
 ## mechanism comparison verbs have two mechanisms to diff — and `results
 ## show` / `compare-mechanisms` read it back (CI uploads the store file as a
-## workflow artifact and gates the next PR against it)
+## workflow artifact and gates the next PR against it).  The final leg runs
+## the same sweep through the distributed backend (2 localhost workers, one
+## deliberately streaming jobs to the coordinator over TCP) and through the
+## process pool, and diffs the two canonical reports byte for byte — the
+## execution-fabric determinism contract, checked on every CI run.
 smoke:
 	$(PYTHON) -m repro run paper-reference --workers 1
 	$(PYTHON) -m repro run paper-reference --workers 1 --mechanism fixed-price
@@ -31,6 +38,15 @@ smoke:
 	$(PYTHON) -m repro results show paper-reference --mechanism market
 	$(PYTHON) -m repro compare-mechanisms paper-reference
 	$(PYTHON) examples/quickstart.py
+	$(PYTHON) -m repro worker --connect 127.0.0.1:$(SMOKE_PORT) --id smoke-w1 --retry 60 &
+	$(PYTHON) -m repro worker --connect 127.0.0.1:$(SMOKE_PORT) --id smoke-w2 --retry 60 &
+	$(PYTHON) -m repro sweep smoke --mechanism all --backend remote \
+	    --bind 127.0.0.1:$(SMOKE_PORT) --workers 2 --no-store --json \
+	    --out smoke-report-remote.json > /dev/null
+	$(PYTHON) -m repro sweep smoke --mechanism all --backend process --no-store \
+	    --json --out smoke-report-process.json > /dev/null
+	cmp smoke-report-remote.json smoke-report-process.json
+	rm -f smoke-report-remote.json smoke-report-process.json
 
 ## everything CI runs
 check: test doctest smoke

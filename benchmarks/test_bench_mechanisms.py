@@ -39,6 +39,13 @@ TRIALS = 2
 #: rounds, no bid trees, no settlement — one allocator pass per epoch.
 MIN_SPEEDUP = 5.0
 
+#: Setup bar: paper-scale ``build_scenario`` (fleet generation + population)
+#: must stay under this many seconds.  Before the per-machine loops in the
+#: cluster accounting were collapsed to single-pass float folds it took
+#: ~0.5 s — longer than an entire baseline-mechanism run — so this guards the
+#: constant factor every sweep pays per job.
+MAX_BUILD_SECONDS = 0.15
+
 
 def bench_spec(mechanism: str):
     spec = get_scenario("paper-reference").with_overrides(mechanism=mechanism)
@@ -47,11 +54,13 @@ def bench_spec(mechanism: str):
     return spec
 
 
-def best_seconds(mechanism: str) -> float:
+def best_seconds(mechanism: str, build_seconds: list[float]) -> float:
     best = float("inf")
     for _ in range(TRIALS):
         spec = bench_spec(mechanism)
+        build_start = time.perf_counter()
         scenario = spec.build()  # mechanism-independent, kept off the clock
+        build_seconds.append(time.perf_counter() - build_start)
         start = time.perf_counter()
         result = get_mechanism(mechanism).simulate(scenario, spec)
         elapsed = time.perf_counter() - start
@@ -63,20 +72,24 @@ def best_seconds(mechanism: str) -> float:
 
 def test_baselines_run_5x_faster_than_the_market(benchmark):
     seconds: dict[str, float] = {}
+    build_seconds: list[float] = []
 
     def run_trials():
         for mechanism in mechanism_names():
-            seconds[mechanism] = best_seconds(mechanism)
+            seconds[mechanism] = best_seconds(mechanism, build_seconds)
         return seconds
 
     benchmark.pedantic(run_trials, rounds=1, iterations=1)
 
+    best_build = min(build_seconds)
     market = seconds["market"]
     print_section("Allocation mechanisms on paper-reference (best of 2 runs)")
     print(f"{'mechanism':<14} {'seconds':>9} {'speedup vs market':>18}")
     for mechanism in mechanism_names():
         speedup = market / seconds[mechanism] if seconds[mechanism] > 0 else float("inf")
         print(f"{mechanism:<14} {seconds[mechanism]:>9.4f} {speedup:>17.1f}x")
+    print(f"scenario build (off the clock above): best {best_build:.4f}s "
+          f"over {len(build_seconds)} builds")
 
     if FULL_SCALE:
         history = []
@@ -89,6 +102,7 @@ def test_baselines_run_5x_faster_than_the_market(benchmark):
             {
                 "recorded_at": stamp,
                 "scenario": "paper-reference",
+                "build_seconds": best_build,
                 "seconds": {name: seconds[name] for name in mechanism_names()},
                 "speedup_vs_market": {
                     name: (market / seconds[name]) if seconds[name] > 0 else None
@@ -98,6 +112,11 @@ def test_baselines_run_5x_faster_than_the_market(benchmark):
         )
         BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
 
+        assert best_build <= MAX_BUILD_SECONDS, (
+            f"paper-scale build_scenario took {best_build:.3f}s (bar: "
+            f"{MAX_BUILD_SECONDS}s) — the vectorised fleet-generation setup "
+            "path has regressed"
+        )
         for name in baseline_mechanism_names():
             assert seconds[name] * MIN_SPEEDUP <= market, (
                 f"{name} took {seconds[name]:.3f}s vs market {market:.3f}s — "

@@ -15,11 +15,14 @@ shortages/surpluses the market removes:
 * :class:`ProportionalShareAllocator` — everyone's request is scaled down by
   the pool's oversubscription factor;
 * :class:`PriorityAllocator` — requests are granted in priority order, with
-  lower priorities squeezed out of congested pools.
+  lower priorities squeezed out of congested pools;
+* :class:`LotteryAllocator` — a budget-weighted lottery decides the service
+  order (randomised fairness, still no price signal).
 """
 
 from repro.baselines.requests import QuotaRequest, AllocationOutcome
 from repro.baselines.fixed_price import FixedPriceAllocator
+from repro.baselines.lottery import LotteryAllocator
 from repro.baselines.proportional import ProportionalShareAllocator
 from repro.baselines.priority import PriorityAllocator
 from repro.baselines.comparison import (
@@ -33,6 +36,7 @@ __all__ = [
     "QuotaRequest",
     "AllocationOutcome",
     "FixedPriceAllocator",
+    "LotteryAllocator",
     "ProportionalShareAllocator",
     "PriorityAllocator",
     "AllocationMetrics",

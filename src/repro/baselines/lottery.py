@@ -1,0 +1,81 @@
+"""Lottery allocation: budget-weighted random service order.
+
+The fourth tradition alongside first-come-first-served, priorities, and
+proportional shares: the operator holds a lottery over the requests, with
+each team's chance of being served early proportional to the budget it
+brings (Waldspurger-style lottery scheduling, tickets = budget dollars).
+Randomness removes the operator's explicit importance ranking — nobody is
+*systematically* starved the way low priorities are — but there is still no
+price signal: winners draw capacity out of the same congested home pools,
+losers in a bad draw get nothing, and idle clusters stay idle.  The market's
+claim is that it beats even an unbiased randomised tradition, not just a
+badly tuned deterministic one.
+
+Determinism: the allocator owns a seeded :class:`numpy.random.Generator`.
+Inside a :class:`~repro.mechanisms.baseline.BaselineEconomySimulation` the
+generator is re-derived from the scenario RNG (see :meth:`LotteryAllocator.reseed`),
+so a fixed scenario seed fixes every epoch's draw — same spec, same result,
+exactly like every other mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.requests import AllocationOutcome, QuotaRequest, validate_requests
+from repro.cluster.pools import PoolIndex
+
+
+class LotteryAllocator:
+    """Serve requests in a budget-weighted random order against available capacity.
+
+    The service order is drawn with Efraimidis–Spirakis weighted sampling
+    without replacement: each request gets the key ``u ** (1 / weight)`` for
+    one uniform draw ``u``, and requests are served by descending key.  A
+    request's ``weight`` is its team's remaining budget (tickets); zero-weight
+    requests always sort last.
+
+    >>> from repro.cluster.pools import demo_pool_index
+    >>> index = demo_pool_index()
+    >>> rich = QuotaRequest(team="rich", quantities={"a/cpu": 15.0}, weight=1e9)
+    >>> poor = QuotaRequest(team="poor", quantities={"a/cpu": 15.0}, weight=1e-9)
+    >>> outcome = LotteryAllocator(seed=1).allocate(index, [rich, poor])
+    >>> bool(outcome.granted["rich"].sum() >= outcome.granted["poor"].sum())
+    True
+    """
+
+    def __init__(self, *, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Re-derive the lottery stream from a scenario RNG.
+
+        Called once per simulation by
+        :class:`~repro.mechanisms.baseline.BaselineEconomySimulation`, so the
+        draws are pinned by the scenario seed (replicates under different
+        seeds hold different lotteries) without the allocator needing to know
+        anything about scenarios.
+        """
+        self._rng = np.random.default_rng(int(rng.integers(2**63)))
+
+    def allocate(self, index: PoolIndex, requests: Sequence[QuotaRequest]) -> AllocationOutcome:
+        """Grant requests in a freshly drawn budget-weighted order."""
+        validate_requests(index, requests)
+        outcome = AllocationOutcome(index=index, policy="lottery")
+        if not requests:
+            return outcome
+        weights = np.array([max(0.0, float(r.weight)) for r in requests], dtype=float)
+        draws = self._rng.random(len(requests))
+        with np.errstate(divide="ignore"):
+            keys = np.where(weights > 0.0, draws ** (1.0 / weights), -1.0)
+        order = np.argsort(-keys, kind="stable")
+        remaining = index.available().copy()
+        for i in order:
+            request = requests[i]
+            wanted = request.vector(index)
+            granted = np.minimum(wanted, remaining)
+            remaining = remaining - granted
+            outcome.record(request.team, wanted, granted)
+        return outcome

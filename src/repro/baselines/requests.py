@@ -23,6 +23,9 @@ class QuotaRequest:
     team: str
     quantities: Mapping[str, float]
     priority: int = 0
+    #: Lottery tickets (normally the team's remaining budget); only the
+    #: lottery policy reads it.  Defaults to an equal single ticket.
+    weight: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.team:
@@ -31,6 +34,8 @@ class QuotaRequest:
             raise ValueError("request must name at least one pool")
         if any(qty < 0 for qty in self.quantities.values()):
             raise ValueError("requested quantities must be non-negative")
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
 
     def vector(self, index: PoolIndex) -> np.ndarray:
         """The request as a vector over ``index``."""

@@ -1,6 +1,6 @@
 """``python -m repro`` — run catalog scenarios from the command line.
 
-Five subcommands:
+Six subcommands:
 
 ``list``
     Show every scenario in the catalog (name, scale, tags, description).
@@ -8,10 +8,18 @@ Five subcommands:
     Run one scenario end to end (optionally several replicate seeds in
     parallel) and print its trajectory report.
 ``sweep``
-    Run a batch of scenarios across a process pool and print the aggregate
+    Run a batch of scenarios in parallel and print the aggregate
     cross-scenario report.  ``--mechanism`` crosses the selection with
     allocation mechanisms (``market``, ``fixed-price``, ``priority``,
-    ``proportional``, a comma list, or ``all``).
+    ``proportional``, ``lottery``, a comma list, or ``all``); ``--backend``
+    selects the execution backend (``serial``, ``process``, ``remote``, or
+    ``list`` to show them) — ``remote`` listens on ``--bind HOST:PORT`` and
+    streams jobs to connected ``worker`` daemons.
+``worker``
+    Serve jobs for a ``remote``-backend coordinator: ``python -m repro
+    worker --connect HOST:PORT`` dials the sweep process, announces an id
+    and in-flight capacity, and executes streamed scenarios until the
+    coordinator shuts it down (see ``docs/distributed.md``).
 ``compare-mechanisms``
     Compare one scenario's stored replicates across allocation mechanisms:
     mean / 95% CI per metric per mechanism, with a direction-aware leader
@@ -40,6 +48,10 @@ never pollute the artifact.
 True
 >>> build_parser().parse_args(["sweep", "--mechanism", "all"]).mechanism
 'all'
+>>> build_parser().parse_args(["sweep", "--backend", "remote"]).backend
+'remote'
+>>> build_parser().parse_args(["worker", "--connect", "host:7077"]).capacity
+1
 >>> build_parser().parse_args(["compare-mechanisms", "smoke"]).scenario
 'smoke'
 >>> build_parser().parse_args(["results", "show", "smoke"]).scenario
@@ -97,6 +109,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="include stress-tagged scenarios too")
     _add_run_options(sweep_cmd)
 
+    worker_cmd = sub.add_parser(
+        "worker", help="serve jobs for a remote-backend coordinator")
+    worker_cmd.add_argument("--connect", required=True, metavar="HOST:PORT",
+                            help="coordinator address (the sweep's --bind)")
+    worker_cmd.add_argument("--id", default=None, metavar="ID",
+                            help="worker id (default: <hostname>-<pid>); the "
+                                 "coordinator refuses duplicates")
+    worker_cmd.add_argument("--capacity", type=int, default=1, metavar="N",
+                            help="jobs the coordinator may keep in flight here (default 1)")
+    worker_cmd.add_argument("--retry", type=float, default=10.0, metavar="SECONDS",
+                            help="keep redialling a not-yet-listening coordinator "
+                                 "this long (default 10)")
+    worker_cmd.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                            help="seconds between heartbeats (default 1)")
+
     cmp_mech = sub.add_parser(
         "compare-mechanisms",
         help="compare one scenario's stored replicates across allocation mechanisms")
@@ -152,7 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_run_options(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--workers", type=int, default=None, metavar="N",
-                     help="process-pool size (default: one per core; 1 = serial)")
+                     help="process backend: pool size (default: one per core; 1 = serial); "
+                          "remote backend: workers to wait for before dispatching")
+    cmd.add_argument("--backend", default=None, metavar="NAME",
+                     help="execution backend: serial, process (default), remote, "
+                          "or 'list' to show every registered backend")
+    cmd.add_argument("--bind", default=None, metavar="HOST:PORT",
+                     help="remote backend only: coordinator listen address "
+                          "(default 127.0.0.1:7077; port 0 picks one)")
     cmd.add_argument("--auctions", type=int, default=None, metavar="N",
                      help="override the scenario's auction count")
     cmd.add_argument("--seed", type=int, default=None, help="override the scenario's seed")
@@ -201,6 +235,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "compare-mechanisms":
             return _cmd_compare_mechanisms(args)
         return _cmd_results(args)
@@ -255,6 +291,45 @@ def _overrides(args: argparse.Namespace) -> dict[str, object]:
     if args.engine is not None:
         overrides["engine"] = args.engine
     return overrides
+
+
+def _print_backend_list() -> int:
+    """What ``--backend list`` shows: every registered execution backend."""
+    from repro.exec import backend_summaries
+
+    header = f"{'backend':<10} description"
+    print(header)
+    print("-" * len(header))
+    for row in backend_summaries():
+        print(f"{row['name']:<10} {row['description']}")
+    return 0
+
+
+def _backend_for(args: argparse.Namespace):
+    """The execution backend a run/sweep uses: a registry name or an instance.
+
+    ``None`` (no ``--backend``) keeps the runner's default (the process
+    pool).  The remote backend is the only one needing configuration beyond
+    ``--workers``, so it is built here; ``--bind`` with any other backend is
+    a usage error rather than a silently dead flag.
+    """
+    from repro.exec import DEFAULT_BIND, RemoteBackend, backend_names, parse_hostport
+
+    if args.backend == "remote":
+        bind = args.bind or DEFAULT_BIND
+        try:
+            parse_hostport(bind)
+        except ValueError as error:
+            raise _UsageError(str(error)) from None
+        return RemoteBackend(bind=bind, workers=args.workers)
+    if args.bind is not None:
+        raise _UsageError("--bind only applies to --backend remote")
+    if args.backend is None:
+        return None
+    if args.backend not in backend_names():
+        known = ", ".join(backend_names())
+        raise _UsageError(f"unknown backend {args.backend!r}; available: {known} (or 'list')")
+    return args.backend
 
 
 def _mechanisms(args: argparse.Namespace) -> list[str] | None:
@@ -334,11 +409,13 @@ def _record_note(report: SweepReport, store, version: str) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.backend == "list":
+        return _print_backend_list()
     if args.replicates < 1:
         raise _UsageError("--replicates must be >= 1")
     spec = _get_spec(args.scenario).with_overrides(**_overrides(args))
     mechanisms = _mechanisms(args)
-    runner = ParallelRunner(workers=args.workers)
+    runner = ParallelRunner(workers=args.workers, backend=_backend_for(args))
     store, version = _store_for(args)
     start = time.perf_counter()
     try:
@@ -369,6 +446,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.backend == "list":
+        return _print_backend_list()
     if args.scenarios and args.all:
         raise _UsageError("pass either explicit scenario names or --all, not both")
     names = args.scenarios or (scenario_names() if args.all else default_sweep_names())
@@ -385,7 +464,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         + ", ".join(sorted({s.name for s in specs})),
         file=sys.stderr,
     )
-    runner = ParallelRunner(workers=args.workers)
+    runner = ParallelRunner(workers=args.workers, backend=_backend_for(args))
     store, version = _store_for(args)
     start = time.perf_counter()
     try:
@@ -396,6 +475,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if store is not None:
             store.close()
     _emit(report, args, time.perf_counter() - start, args.workers)
+    return 0
+
+
+# -- worker -------------------------------------------------------------------------------
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.exec import WorkerError, parse_hostport, run_worker
+    from repro.exec.worker import DEFAULT_HEARTBEAT_INTERVAL
+
+    if args.capacity < 1:
+        raise _UsageError("--capacity must be >= 1")
+    if args.heartbeat is not None and args.heartbeat <= 0:
+        raise _UsageError("--heartbeat must be positive seconds")
+    try:
+        parse_hostport(args.connect)
+    except ValueError as error:
+        raise _UsageError(str(error)) from None
+    try:
+        run_worker(
+            args.connect,
+            worker_id=args.id,
+            capacity=args.capacity,
+            retry_seconds=args.retry,
+            heartbeat_interval=(
+                DEFAULT_HEARTBEAT_INTERVAL if args.heartbeat is None else args.heartbeat
+            ),
+            log=lambda message: print(message, file=sys.stderr),
+        )
+    except WorkerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

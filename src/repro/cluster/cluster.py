@@ -12,7 +12,6 @@ from repro.cluster.resources import (
     ResourceType,
     ResourceVector,
     cpu_ram_disk,
-    sum_vectors,
 )
 
 
@@ -58,37 +57,92 @@ class Cluster:
         self.machines.extend(machines)
 
     # -- capacity accounting --------------------------------------------------
+    #
+    # These aggregates are the hot path of fleet generation: building pools
+    # and utilization snapshots reads them for every cluster, and a cluster
+    # can hold hundreds of machines.  They fold plain floats per dimension —
+    # a strict left fold from 0, exactly like summing :class:`ResourceVector`
+    # objects, so the totals are bit-identical to the object fold — instead
+    # of allocating one intermediate vector per machine.
+
     @property
     def capacity(self) -> ResourceVector:
         """Total capacity across all machines."""
-        return sum_vectors(machine.capacity for machine in self.machines)
+        cpu = ram = disk = 0.0
+        for machine in self.machines:
+            vec = machine.capacity
+            cpu += vec.cpu
+            ram += vec.ram
+            disk += vec.disk
+        return ResourceVector(cpu=cpu, ram=ram, disk=disk)
+
+    def _totals(self) -> tuple[ResourceVector, ResourceVector]:
+        """``(capacity, used)`` in one pass over the machines."""
+        cap_cpu = cap_ram = cap_disk = 0.0
+        use_cpu = use_ram = use_disk = 0.0
+        for machine in self.machines:
+            vec = machine.capacity
+            cap_cpu += vec.cpu
+            cap_ram += vec.ram
+            cap_disk += vec.disk
+            if not machine.jobs:
+                continue  # contributes exactly zero to the usage fold
+            used_vec = machine.used
+            use_cpu += used_vec.cpu
+            use_ram += used_vec.ram
+            use_disk += used_vec.disk
+        capacity = ResourceVector(cpu=cap_cpu, ram=cap_ram, disk=cap_disk)
+        load = self.background_load
+        used = ResourceVector(
+            cpu=use_cpu + capacity.cpu * load.get(ResourceType.CPU, 0.0),
+            ram=use_ram + capacity.ram * load.get(ResourceType.RAM, 0.0),
+            disk=use_disk + capacity.disk * load.get(ResourceType.DISK, 0.0),
+        )
+        return capacity, used
+
+    def capacity_and_utilization(
+        self,
+    ) -> tuple[ResourceVector, dict[ResourceType, float]]:
+        """Total capacity plus per-dimension utilization in one machine pass.
+
+        What pool construction reads: it needs both values for every
+        cluster, and fetching them together avoids re-folding hundreds of
+        machines per resource dimension.
+        """
+        capacity, used = self._totals()
+        return capacity, {
+            rtype: self._fraction(capacity, used, rtype) for rtype in RESOURCE_TYPES
+        }
 
     @property
     def used(self) -> ResourceVector:
         """Resources consumed by placed jobs plus background load."""
-        placed = sum_vectors(machine.used for machine in self.machines)
-        background = ResourceVector(
-            cpu=self.capacity.cpu * self.background_load.get(ResourceType.CPU, 0.0),
-            ram=self.capacity.ram * self.background_load.get(ResourceType.RAM, 0.0),
-            disk=self.capacity.disk * self.background_load.get(ResourceType.DISK, 0.0),
-        )
-        return placed + background
+        return self._totals()[1]
 
     @property
     def free(self) -> ResourceVector:
         """Remaining capacity (clamped at zero)."""
-        return (self.capacity - self.used).clamp_nonnegative()
+        capacity, used = self._totals()
+        return (capacity - used).clamp_nonnegative()
 
     def utilization(self, rtype: ResourceType) -> float:
         """Utilization fraction in [0, 1] for one resource dimension."""
-        cap = self.capacity.get(rtype)
+        capacity, used = self._totals()
+        return self._fraction(capacity, used, rtype)
+
+    @staticmethod
+    def _fraction(capacity: ResourceVector, used: ResourceVector, rtype: ResourceType) -> float:
+        cap = capacity.get(rtype)
         if cap <= 0.0:
             return 0.0
-        return min(1.0, max(0.0, self.used.get(rtype) / cap))
+        return min(1.0, max(0.0, used.get(rtype) / cap))
 
     def utilization_vector(self) -> dict[ResourceType, float]:
-        """Utilization fraction per resource dimension."""
-        return {rtype: self.utilization(rtype) for rtype in RESOURCE_TYPES}
+        """Utilization fraction per resource dimension (one machine pass)."""
+        capacity, used = self._totals()
+        return {
+            rtype: self._fraction(capacity, used, rtype) for rtype in RESOURCE_TYPES
+        }
 
     def set_background_load(self, loads: dict[ResourceType, float]) -> None:
         """Set the background utilization fractions (clamped to [0, 1])."""

@@ -33,6 +33,8 @@ class Machine:
     @property
     def used(self) -> ResourceVector:
         """Sum of footprints of all jobs currently placed on this machine."""
+        if not self.jobs:  # the common case on freshly generated fleets
+            return ResourceVector.zero()
         total = ResourceVector.zero()
         for job in self.jobs.values():
             total = total + job.footprint

@@ -243,7 +243,10 @@ def pools_from_topology(
     clusters = list(topology) if not isinstance(topology, FleetTopology) else list(topology)
     pools: list[ResourcePool] = []
     for cluster in clusters:
-        capacity = cluster.capacity
+        # One machine pass per cluster: capacity and the full utilization
+        # vector together, instead of re-aggregating hundreds of machines for
+        # every resource dimension (the fleet-generation hot path).
+        capacity, utilization = cluster.capacity_and_utilization()
         for rtype in RESOURCE_TYPES:
             pools.append(
                 ResourcePool(
@@ -251,7 +254,7 @@ def pools_from_topology(
                     rtype=rtype,
                     capacity=capacity.get(rtype),
                     unit_cost=costs.get(rtype, 0.0),
-                    utilization=cluster.utilization(rtype),
+                    utilization=utilization[rtype],
                 )
             )
     return PoolIndex(pools)

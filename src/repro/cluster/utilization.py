@@ -74,9 +74,11 @@ def snapshot_clusters(clusters: Iterable[Cluster]) -> UtilizationSnapshot:
     fractions: dict[str, float] = {}
     by_type: dict[ResourceType, list[tuple[str, float]]] = {rtype: [] for rtype in RESOURCE_TYPES}
     for cluster in clusters:
+        # One machine pass per cluster (not one per resource dimension).
+        vector = cluster.utilization_vector()
         for rtype in RESOURCE_TYPES:
             name = f"{cluster.name}/{rtype.value}"
-            frac = cluster.utilization(rtype)
+            frac = vector[rtype]
             fractions[name] = frac
             by_type[rtype].append((name, frac))
     percentiles: dict[str, float] = {}

@@ -1,0 +1,53 @@
+"""Execution backends: one protocol over serial, process-pool, and multi-host runs.
+
+The registry lets the runner/CLI/store pipeline treat "where jobs execute" as
+a first-class dimension, exactly like the demand engine and the allocation
+mechanism: :class:`~repro.simulation.runner.ParallelRunner` resolves a backend
+by name, ``python -m repro run/sweep --backend NAME`` selects it from the
+command line, and the result store records which worker produced each run.
+
+>>> from repro.exec import backend_names, create_backend
+>>> backend_names()
+['serial', 'process', 'remote']
+>>> create_backend('process', workers=2).workers
+2
+"""
+
+from repro.exec.base import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    backend_names,
+    backend_summaries,
+    create_backend,
+    get_backend_factory,
+    register_backend,
+)
+from repro.exec.coordinator import DEFAULT_BIND, RemoteBackend
+from repro.exec.process import ProcessBackend
+from repro.exec.serial import SerialBackend, run_one
+from repro.exec.worker import WorkerError, default_worker_id, parse_hostport, run_worker
+
+register_backend(SerialBackend)
+register_backend(ProcessBackend)
+register_backend(RemoteBackend)
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "DEFAULT_BIND",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "RemoteBackend",
+    "SerialBackend",
+    "WorkerError",
+    "backend_names",
+    "backend_summaries",
+    "create_backend",
+    "default_worker_id",
+    "get_backend_factory",
+    "parse_hostport",
+    "register_backend",
+    "run_one",
+    "run_worker",
+]

@@ -1,0 +1,443 @@
+"""The remote execution backend: a TCP coordinator streaming jobs to workers.
+
+The coordinator owns all scheduling state; workers (see
+:mod:`repro.exec.worker`) are stateless job lanes.  One sweep runs like this:
+
+1. :meth:`RemoteBackend.listen` binds the ``--bind`` address and starts
+   accepting worker connections (each gets a reader thread that parses its
+   ``hello``, refuses duplicate worker ids, and forwards every later message
+   onto one event queue).
+2. :meth:`RemoteBackend.execute` waits until at least ``workers`` daemons are
+   connected (late joiners are welcome mid-sweep), then dispatches jobs in
+   the caller's longest-job-first order — fed by the result store's measured
+   wall times exactly like the process pool — keeping each worker loaded up
+   to its advertised in-flight capacity.
+3. Results are emitted (in the caller's thread) as they land.  A worker that
+   misses its heartbeat window or drops its socket is declared lost: its
+   in-flight jobs go back to the *front* of the queue and re-run on any other
+   worker.  Jobs are deterministic, so a retried job — or a straggler result
+   from a worker that was declared lost prematurely — produces the same
+   bytes, and the sweep report is identical at any worker count, with or
+   without failures.
+4. When every job is done the coordinator sends ``shutdown`` to each worker
+   (they exit 0) and closes the listener.
+
+A scenario that *raises* on a worker is not retried — same seed, same crash —
+the coordinator aborts the sweep with a ``RuntimeError`` naming the scenario,
+matching the process backend's behaviour.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.exec.base import EmitFn
+from repro.exec.wire import (
+    WireError,
+    encode_spec_b64,
+    recv_message,
+    result_from_wire,
+    send_message,
+)
+from repro.exec.worker import parse_hostport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.catalog import ScenarioSpec
+
+#: Default coordinator address: localhost, one port above the decade's year.
+DEFAULT_BIND = "127.0.0.1:7077"
+
+#: A worker silent for this many seconds is declared lost (workers beat every
+#: second by default, so this tolerates nine dropped beats).
+DEFAULT_HEARTBEAT_TIMEOUT = 10.0
+
+#: How long ``execute`` waits for the first worker(s) to connect.
+DEFAULT_WAIT_TIMEOUT = 30.0
+
+
+@dataclass
+class _Worker:
+    """Coordinator-side view of one connected worker daemon."""
+
+    worker_id: str
+    sock: socket.socket
+    capacity: int
+    joined_at: float
+    last_seen: float
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: job index -> dispatch timestamp, for every job sent but not yet done.
+    in_flight: dict[int, float] = field(default_factory=dict)
+    alive: bool = True
+
+    def free_slots(self) -> int:
+        return max(0, self.capacity - len(self.in_flight))
+
+
+class RemoteBackend:
+    """Stream scenario jobs to ``python -m repro worker`` daemons over TCP.
+
+    Parameters
+    ----------
+    bind:
+        ``HOST:PORT`` to listen on (port ``0`` picks an ephemeral port; read
+        the bound address back from :attr:`address`).
+    workers:
+        Minimum connected workers before dispatch begins (default 1).  More
+        may join at any time; fewer after ``wait_timeout`` aborts only when
+        *zero* are connected.
+    heartbeat_timeout:
+        Seconds of silence before a worker is declared lost.
+    wait_timeout:
+        Seconds to wait for the initial workers — and, mid-sweep, for a
+        replacement when every worker has been lost with jobs still pending.
+    max_in_flight:
+        Coordinator-side ceiling on any worker's in-flight jobs (the
+        effective cap is ``min(worker capacity, max_in_flight)``).
+    """
+
+    name = "remote"
+    description = "stream jobs over TCP to repro worker daemons (heartbeats, retry)"
+
+    def __init__(
+        self,
+        *,
+        bind: str = DEFAULT_BIND,
+        workers: int | None = None,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        wait_timeout: float = DEFAULT_WAIT_TIMEOUT,
+        max_in_flight: int | None = None,
+        quiet: bool = False,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.bind = bind
+        self.min_workers = workers or 1
+        self.heartbeat_timeout = heartbeat_timeout
+        self.wait_timeout = wait_timeout
+        self.max_in_flight = max_in_flight
+        self.quiet = quiet
+        #: The bound ``HOST:PORT`` once listening (ephemeral port resolved).
+        self.address: str | None = None
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._events: queue.Queue = queue.Queue()
+        self._workers: dict[str, _Worker] = {}
+        self._registry_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def listen(self) -> str:
+        """Bind the coordinator address and start accepting workers (idempotent).
+
+        Returns the bound ``HOST:PORT`` — callers that bound port 0 read the
+        real port from here before starting their workers.
+        """
+        if self._listener is not None:
+            return self.address or self.bind
+        host, port = parse_hostport(self.bind)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(64)
+        # Polling accept: closing a socket does not wake a thread blocked in
+        # accept(), so the accept loop must time out to notice shutdown.
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._stopping.clear()
+        self.address = f"{host}:{listener.getsockname()[1]}"
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="coordinator-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._say(f"coordinator listening on {self.address}")
+        return self.address
+
+    def connected_workers(self) -> int:
+        """How many workers are currently connected and alive.
+
+        Lets callers (and benchmarks) pre-start long-lived worker daemons and
+        wait for them to register before dispatching a timed sweep.
+        """
+        with self._registry_lock:
+            return sum(1 for worker in self._workers.values() if worker.alive)
+
+    def close(self) -> None:
+        """Tell every worker to shut down and stop listening."""
+        self._stopping.set()
+        with self._registry_lock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for worker in workers:
+            if worker.alive:
+                try:
+                    with worker.send_lock:
+                        send_message(worker.sock, {"type": "shutdown"})
+                except OSError:
+                    pass
+            worker.sock.close()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        self._events = queue.Queue()
+
+    # -- backend contract --------------------------------------------------------------
+    def execute(
+        self,
+        specs: Sequence["ScenarioSpec"],
+        *,
+        order: Sequence[int],
+        emit: EmitFn,
+    ) -> None:
+        if not specs:
+            return
+        self.listen()
+        try:
+            self._wait_for_workers()
+            self._dispatch_all(specs, list(order), emit)
+        finally:
+            self.close()
+
+    # -- dispatch loop -----------------------------------------------------------------
+    def _wait_for_workers(self) -> None:
+        deadline = time.monotonic() + self.wait_timeout
+        while True:
+            with self._registry_lock:
+                connected = sum(1 for w in self._workers.values() if w.alive)
+            if connected >= self.min_workers:
+                return
+            if time.monotonic() >= deadline:
+                if connected:
+                    self._say(
+                        f"proceeding with {connected} worker(s); "
+                        f"{self.min_workers} requested"
+                    )
+                    return
+                raise RuntimeError(
+                    f"no workers connected to {self.address} within "
+                    f"{self.wait_timeout:.0f}s; start some with "
+                    f"`python -m repro worker --connect {self.address}`"
+                )
+            event = self._drain_event(timeout=0.1)
+            if event is None:
+                continue
+            if event[0] == "lost":
+                # A worker that came and went before dispatch: drop it so it
+                # does not count toward (or receive) anything.
+                self._on_worker_lost(event[1], event[2], deque(), set())
+            elif event[0] == "msg":
+                # Heartbeats must keep last_seen fresh even before dispatch:
+                # assembling a fleet can take longer than heartbeat_timeout,
+                # and a stale timestamp here would get a healthy worker
+                # declared lost on the first liveness check.
+                worker = self._workers.get(event[1])
+                if worker is not None:
+                    worker.last_seen = time.monotonic()
+
+    def _dispatch_all(self, specs, pending_order: list[int], emit: EmitFn) -> None:
+        pending: deque[int] = deque(pending_order)
+        done: set[int] = set()
+        last_progress = time.monotonic()
+
+        while len(done) < len(specs):
+            self._assign(specs, pending, done)
+            event = self._drain_event(timeout=0.1)
+            now = time.monotonic()
+            if event is not None:
+                kind = event[0]
+                if kind == "joined":
+                    last_progress = now
+                elif kind == "lost":
+                    _, worker_id, reason = event
+                    self._on_worker_lost(worker_id, reason, pending, done)
+                elif kind == "msg":
+                    _, worker_id, message = event
+                    if self._on_message(worker_id, message, specs, emit, done):
+                        last_progress = now
+            self._check_heartbeats(pending, done)
+            if not self._alive_workers() and len(done) < len(specs):
+                if now - last_progress > self.wait_timeout:
+                    raise RuntimeError(
+                        f"all workers lost with {len(specs) - len(done)} job(s) "
+                        f"unfinished and none reconnected within "
+                        f"{self.wait_timeout:.0f}s"
+                    )
+
+    def _assign(self, specs, pending: deque[int], done: set[int]) -> None:
+        """Hand pending jobs to free worker slots, earliest-joined worker first."""
+        while pending:
+            candidates = [w for w in self._alive_workers() if w.free_slots() > 0]
+            if not candidates:
+                return
+            worker = min(candidates, key=lambda w: w.joined_at)
+            job = pending.popleft()
+            if job in done:
+                continue  # a straggler result landed while this retry was queued
+            spec = specs[job]
+            try:
+                with worker.send_lock:
+                    send_message(
+                        worker.sock,
+                        {
+                            "type": "job",
+                            "job": job,
+                            "scenario": spec.name,
+                            "spec": encode_spec_b64(spec),
+                        },
+                    )
+            except OSError as error:
+                pending.appendleft(job)
+                self._events.put(("lost", worker.worker_id, f"send failed: {error}"))
+                worker.alive = False
+                continue
+            worker.in_flight[job] = time.monotonic()
+            self._say(f"dispatch job {job} ({spec.name}) -> {worker.worker_id}")
+
+    def _on_message(self, worker_id, message, specs, emit, done: set[int]) -> bool:
+        """Apply one worker message; True when it completed a job."""
+        worker = self._workers.get(worker_id)
+        if worker is not None:
+            worker.last_seen = time.monotonic()
+        kind = message["type"]
+        if kind == "heartbeat" or kind == "hello":
+            return False
+        job = int(message.get("job", -1))
+        if kind == "result":
+            if worker is not None:
+                worker.in_flight.pop(job, None)
+            if job in done:
+                return False  # straggler from a worker declared lost too early
+            done.add(job)
+            emit(job, result_from_wire(message))
+            return True
+        if kind == "error":
+            scenario = message.get("scenario", "?")
+            raise RuntimeError(
+                f"scenario {scenario!r} failed on worker {worker_id!r}: "
+                f"{message.get('message', 'unknown error')}"
+            )
+        return False
+
+    def _on_worker_lost(self, worker_id, reason, pending: deque[int], done: set[int]) -> None:
+        with self._registry_lock:
+            worker = self._workers.pop(worker_id, None)
+        if worker is None:
+            return
+        worker.alive = False
+        worker.sock.close()
+        # in_flight is insertion-ordered, i.e. the order the scheduler chose
+        # (longest job first under measured costs); re-queue at the front in
+        # that same order so the heaviest forfeited job restarts first.
+        requeued = [job for job in worker.in_flight if job not in done]
+        pending.extendleft(reversed(requeued))
+        self._say(
+            f"worker {worker_id} lost ({reason}); requeued {len(requeued)} job(s)"
+        )
+
+    def _check_heartbeats(self, pending: deque[int], done: set[int]) -> None:
+        cutoff = time.monotonic() - self.heartbeat_timeout
+        for worker in self._alive_workers():
+            if worker.last_seen < cutoff:
+                worker.alive = False
+                self._on_worker_lost(
+                    worker.worker_id,
+                    f"no heartbeat for {self.heartbeat_timeout:.0f}s",
+                    pending,
+                    done,
+                )
+
+    # -- connection handling -----------------------------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                sock, _ = listener.accept()
+            except TimeoutError:
+                continue  # poll tick: re-check the stopping flag
+            except OSError:
+                return  # listener closed
+            # Accepted sockets inherit the listener's poll timeout; the
+            # handshake sets its own deadline and then clears it.
+            sock.settimeout(None)
+            threading.Thread(
+                target=self._serve_connection, args=(sock,), daemon=True
+            ).start()
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        worker_id = None
+        try:
+            sock.settimeout(10.0)
+            # Small latency-sensitive frames; see the matching setting in
+            # the worker's dial path.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            hello = recv_message(sock)
+            if hello is None or hello.get("type") != "hello" or "worker" not in hello:
+                send_message(sock, {"type": "reject", "reason": "malformed hello"})
+                sock.close()
+                return
+            worker_id = str(hello["worker"])
+            capacity = max(1, int(hello.get("capacity", 1)))
+            if self.max_in_flight is not None:
+                capacity = min(capacity, self.max_in_flight)
+            now = time.monotonic()
+            worker = _Worker(
+                worker_id=worker_id,
+                sock=sock,
+                capacity=capacity,
+                joined_at=now,
+                last_seen=now,
+            )
+            with self._registry_lock:
+                existing = self._workers.get(worker_id)
+                if existing is not None and existing.alive:
+                    send_message(
+                        sock,
+                        {
+                            "type": "reject",
+                            "reason": f"worker id {worker_id!r} is already connected",
+                        },
+                    )
+                    sock.close()
+                    return
+                self._workers[worker_id] = worker
+            with worker.send_lock:
+                send_message(sock, {"type": "welcome"})
+            sock.settimeout(None)
+            self._events.put(("joined", worker_id))
+            while True:
+                message = recv_message(sock)
+                if message is None:
+                    self._events.put(("lost", worker_id, "connection closed"))
+                    return
+                self._events.put(("msg", worker_id, message))
+        except (OSError, WireError) as error:
+            if worker_id is not None:
+                self._events.put(("lost", worker_id, str(error)))
+            else:
+                sock.close()
+
+    # -- helpers -----------------------------------------------------------------------
+    def _alive_workers(self) -> list[_Worker]:
+        with self._registry_lock:
+            return [w for w in self._workers.values() if w.alive]
+
+    def _drain_event(self, *, timeout: float):
+        try:
+            return self._events.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def _say(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[remote] {message}", file=sys.stderr)

@@ -1,0 +1,145 @@
+"""Wire format of the remote execution fabric.
+
+Messages are length-prefixed JSON: a 4-byte big-endian unsigned length
+followed by one UTF-8 JSON object.  JSON keeps the protocol inspectable (a
+captured stream reads as plain text) and the framing keeps it boring — no
+delimiter escaping, no partial-line buffering.
+
+Two payloads need more than JSON:
+
+* **jobs** carry a full :class:`~repro.simulation.catalog.ScenarioSpec` —
+  an arbitrary dataclass graph (fleet spec, population spec, weighting
+  function).  The process-pool backend already ships specs between processes
+  with :mod:`pickle`; the remote fabric reuses exactly that, base64-wrapped
+  inside the JSON envelope.  Pickle is an arbitrary-code-execution format,
+  which is why the coordinator binds to localhost by default and the fabric
+  is documented as a **trusted-network** transport (see
+  ``docs/distributed.md``) — workers already run arbitrary code from the
+  coordinator by design, so the spec payload adds no new trust edge.
+* **results** travel as the run's canonical ``to_dict()`` report plus the
+  non-canonical sidecar fields (measured wall time, worker id).  The
+  canonical dict round-trips bit-exactly through JSON (plain rounded floats,
+  strings, ints), which is what keeps remote sweep reports byte-identical
+  to serial ones.
+
+Message types (direction, fields):
+
+=============  ===========  ====================================================
+``hello``      worker → c.  ``worker``, ``capacity``, ``pid`` — announce id and
+                            how many jobs may be in flight at once.
+``welcome``    c. → worker  id accepted; dispatch may begin.
+``reject``     c. → worker  ``reason`` — duplicate id or malformed hello; the
+                            coordinator closes the connection after sending.
+``job``        c. → worker  ``job`` (index), ``scenario``, ``spec`` (base64
+                            pickle).
+``result``     worker → c.  ``job``, ``result`` (canonical dict),
+                            ``wall_time``, ``worker``.
+``error``      worker → c.  ``job``, ``scenario``, ``message`` — the scenario
+                            raised; deterministic, so never retried.
+``heartbeat``  worker → c.  liveness beacon (see ``docs/distributed.md``).
+``shutdown``   c. → worker  sweep finished (or aborted); the worker exits 0.
+=============  ===========  ====================================================
+
+>>> spec_payload = encode_spec_b64({"not": "a real spec, but any picklable"})
+>>> decode_spec_b64(spec_payload)
+{'not': 'a real spec, but any picklable'}
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.runner import ScenarioRunResult
+
+#: Frames larger than this are a protocol error, not a big job (a paper-scale
+#: spec pickles to ~2 kB; results are a few kB of JSON).  Catches a
+#: desynchronised stream before it turns into a gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(ConnectionError):
+    """A malformed or truncated frame (desync, peer gone mid-frame)."""
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Serialise ``message`` and write one length-prefixed frame."""
+    data = json.dumps(message, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LENGTH.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+    data = _recv_exact(sock, length, eof_ok=False)
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"undecodable frame: {error}") from error
+    if not isinstance(message, dict) or "type" not in message:
+        raise WireError(f"frame is not a typed message: {message!r:.80}")
+    return message
+
+
+def _recv_exact(sock: socket.socket, count: int, *, eof_ok: bool) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise WireError(f"connection closed {remaining} bytes into a {count}-byte read")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- payload codecs -----------------------------------------------------------------------
+
+
+def encode_spec_b64(spec) -> str:
+    """A spec (or any picklable object) as base64 text for the JSON envelope."""
+    return base64.b64encode(pickle.dumps(spec)).decode("ascii")
+
+
+def decode_spec_b64(payload: str):
+    """Invert :func:`encode_spec_b64`.  Trusted input only (pickle)."""
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+def result_to_wire(result: "ScenarioRunResult") -> dict:
+    """The fields of a ``result`` message for one finished run."""
+    return {
+        "type": "result",
+        "result": result.to_dict(),
+        "wall_time": result.wall_time_seconds,
+        "worker": result.worker,
+    }
+
+
+def result_from_wire(message: dict) -> "ScenarioRunResult":
+    """Rebuild the run result a worker shipped back.
+
+    The canonical dict restores bit-exactly (its floats are plain rounded
+    values that survive JSON), and the non-canonical sidecars ride alongside.
+    """
+    from repro.simulation.runner import ScenarioRunResult
+
+    return ScenarioRunResult.from_dict(
+        message["result"],
+        wall_time_seconds=message.get("wall_time"),
+        worker=message.get("worker"),
+    )

@@ -1,0 +1,186 @@
+"""The remote worker daemon: ``python -m repro worker --connect HOST:PORT``.
+
+A worker is deliberately dumb: it dials the coordinator, announces itself
+(``hello`` with its id and in-flight capacity), then loops — receive a job,
+run it with the very same :func:`~repro.exec.serial.run_one` path every other
+backend uses, ship the result back.  A background thread emits heartbeats so
+the coordinator can tell "busy with a long scenario" from "host died".  All
+scheduling intelligence (dispatch order, retry, caps) lives coordinator-side;
+a worker never needs the scenario catalog, the result store, or any state
+beyond its open socket.
+
+Run ``--capacity N`` workers to let the coordinator pipeline N jobs onto this
+host (the worker still executes them one at a time; queued jobs wait in the
+socket, so a worker loss forfeits at most ``capacity`` jobs, which the
+coordinator re-runs elsewhere).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Callable
+
+from repro.exec.serial import run_one
+from repro.exec.wire import (
+    WireError,
+    decode_spec_b64,
+    recv_message,
+    result_to_wire,
+    send_message,
+)
+
+#: Seconds between worker heartbeats (coordinator default tolerates 10 s).
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+#: How long a starting worker keeps redialling a coordinator that is not
+#: listening yet (``make smoke`` starts workers before the sweep process).
+DEFAULT_RETRY_SECONDS = 10.0
+
+
+class WorkerError(RuntimeError):
+    """The worker could not serve: connect failure, rejection, lost coordinator."""
+
+
+def parse_hostport(address: str) -> tuple[str, int]:
+    """Split ``HOST:PORT`` (the CLI's ``--connect`` / ``--bind`` syntax).
+
+    >>> parse_hostport("127.0.0.1:7077")
+    ('127.0.0.1', 7077)
+    >>> parse_hostport(":0")
+    ('127.0.0.1', 0)
+    """
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"address {address!r} is not HOST:PORT")
+    return (host or "127.0.0.1", int(port))
+
+
+def default_worker_id() -> str:
+    """Hostname-qualified id used when ``--id`` is not given."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def run_worker(
+    connect: str,
+    *,
+    worker_id: str | None = None,
+    capacity: int = 1,
+    retry_seconds: float = DEFAULT_RETRY_SECONDS,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    runner: Callable | None = None,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Serve jobs from the coordinator at ``connect`` until it shuts us down.
+
+    Returns the number of jobs executed.  Raises :class:`WorkerError` when the
+    coordinator cannot be reached within ``retry_seconds``, rejects the hello
+    (duplicate worker id), or vanishes without sending ``shutdown``.
+
+    ``runner`` overrides the job execution path (tests inject quick fakes);
+    the default is the shared :func:`~repro.exec.serial.run_one`.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    worker_id = worker_id or default_worker_id()
+    say = log or (lambda message: None)
+    sock = _dial(connect, retry_seconds)
+    jobs_run = 0
+    send_lock = threading.Lock()
+    stop_beating = threading.Event()
+    try:
+        with send_lock:
+            send_message(
+                sock,
+                {"type": "hello", "worker": worker_id, "capacity": capacity, "pid": os.getpid()},
+            )
+        answer = recv_message(sock)
+        if answer is None or answer.get("type") != "welcome":
+            reason = (answer or {}).get("reason", "connection closed during handshake")
+            raise WorkerError(f"coordinator rejected worker {worker_id!r}: {reason}")
+        # The dial/handshake timeout must not apply to job waits: an idle
+        # worker legitimately blocks on recv for as long as the sweep runs.
+        sock.settimeout(None)
+        say(f"worker {worker_id}: connected to {connect} (capacity {capacity})")
+
+        beater = threading.Thread(
+            target=_heartbeat_loop,
+            args=(sock, send_lock, stop_beating, heartbeat_interval),
+            name=f"heartbeat-{worker_id}",
+            daemon=True,
+        )
+        beater.start()
+
+        while True:
+            message = recv_message(sock)
+            if message is None:
+                raise WorkerError(
+                    f"worker {worker_id!r}: coordinator vanished without shutdown"
+                )
+            kind = message["type"]
+            if kind == "shutdown":
+                say(f"worker {worker_id}: shutdown after {jobs_run} job(s)")
+                return jobs_run
+            if kind != "job":
+                continue  # future protocol additions must not kill old workers
+            job = int(message["job"])
+            spec = decode_spec_b64(message["spec"])
+            say(f"worker {worker_id}: job {job} ({message.get('scenario', '?')})")
+            try:
+                result = (runner or run_one)(spec, worker=worker_id)
+            except Exception as error:
+                with send_lock:
+                    send_message(
+                        sock,
+                        {
+                            "type": "error",
+                            "job": job,
+                            "scenario": getattr(spec, "name", "?"),
+                            "message": str(error),
+                        },
+                    )
+                continue
+            jobs_run += 1
+            with send_lock:
+                send_message(sock, {"type": "result", "job": job, **result_to_wire(result)})
+    except (OSError, WireError) as error:
+        raise WorkerError(f"worker {worker_id!r}: connection failed: {error}") from error
+    finally:
+        stop_beating.set()
+        sock.close()
+
+
+def _dial(connect: str, retry_seconds: float) -> socket.socket:
+    """Connect to the coordinator, redialling until the retry window closes."""
+    host, port = parse_hostport(connect)
+    deadline = time.monotonic() + retry_seconds
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+            # Frames are small and latency-sensitive (job in, result out);
+            # Nagle buffering would serialize every exchange behind delayed
+            # ACKs.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as error:
+            if time.monotonic() >= deadline:
+                raise WorkerError(
+                    f"no coordinator at {connect} after {retry_seconds:.0f}s: {error}"
+                ) from error
+            time.sleep(0.2)
+
+
+def _heartbeat_loop(
+    sock: socket.socket,
+    send_lock: threading.Lock,
+    stop: threading.Event,
+    interval: float,
+) -> None:
+    while not stop.wait(interval):
+        try:
+            with send_lock:
+                send_message(sock, {"type": "heartbeat"})
+        except OSError:
+            return  # the main loop surfaces the broken connection

@@ -14,11 +14,13 @@ Registered mechanisms:
 ``fixed-price``   First-come-first-served grants at posted fixed prices.
 ``priority``      Operator-assigned priorities served highest first.
 ``proportional``  Equal fractional shares of oversubscribed pools.
+``lottery``       Budget-weighted random service order (randomised fairness,
+                  still no price signal).
 ================  ==========================================================
 
 >>> from repro.mechanisms import get_mechanism, mechanism_names
 >>> mechanism_names()
-['market', 'fixed-price', 'priority', 'proportional']
+['market', 'fixed-price', 'lottery', 'priority', 'proportional']
 >>> get_mechanism("fixed-price").name
 'fixed-price'
 """
@@ -64,6 +66,13 @@ register_mechanism(
         "proportional",
         "equal fractional shares of oversubscribed pools",
         BASELINE_ALLOCATORS["proportional"],
+    )
+)
+register_mechanism(
+    BaselineMechanism(
+        "lottery",
+        "budget-weighted random service order (lottery scheduling)",
+        BASELINE_ALLOCATORS["lottery"],
     )
 )
 

@@ -56,6 +56,7 @@ from repro.baselines.comparison import (
     utilization_imbalance,
 )
 from repro.baselines.fixed_price import FixedPriceAllocator
+from repro.baselines.lottery import LotteryAllocator
 from repro.baselines.priority import PriorityAllocator
 from repro.baselines.proportional import ProportionalShareAllocator
 from repro.baselines.requests import AllocationOutcome, QuotaRequest
@@ -79,6 +80,7 @@ BASELINE_ALLOCATORS: dict[str, Callable[[], object]] = {
     "fixed-price": FixedPriceAllocator,
     "priority": PriorityAllocator,
     "proportional": ProportionalShareAllocator,
+    "lottery": LotteryAllocator,
 }
 
 
@@ -169,6 +171,12 @@ class BaselineEconomySimulation:
         # teams by perceived importance, not per epoch.  Uses the scenario RNG
         # so a fixed seed fixes the whole run.
         self._priorities = priorities_from_agents(scenario.agents, seed=scenario.rng)
+        # Stochastic allocators (the lottery) derive their stream from the
+        # scenario RNG the same way, so a fixed seed fixes every draw.  The
+        # hook is conditional: deterministic policies consume nothing and
+        # their trajectories stay bit-identical to pre-lottery builds.
+        if hasattr(allocator, "reseed"):
+            allocator.reseed(scenario.rng)
         # Demand is re-derived analytically each epoch instead of re-running
         # the covering-bundle translation: covering bundles are linear in the
         # requested quantity and a profile's growth is one multiplicative
@@ -228,6 +236,8 @@ class BaselineEconomySimulation:
                         team=team,
                         quantities=quantities,
                         priority=self._priorities.get(team, 0),
+                        # Lottery tickets: what the team can still spend.
+                        weight=budget,
                     )
                 )
         return requests

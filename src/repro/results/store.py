@@ -6,14 +6,17 @@ used, and the allocation mechanism that produced the outcome; recording the
 same key twice replaces the earlier row (re-running an experiment under
 unchanged code is a refresh, not a new observation).  Each run stores the
 full canonical trajectory report (as JSON, for provenance), the scalar
-metrics of :mod:`repro.results.metrics` (as rows, for querying), and the
-observed wall time (for measured-cost scheduling — deliberately *outside*
-the canonical JSON, which must stay deterministic).
+metrics of :mod:`repro.results.metrics` (as rows, for querying), the
+observed wall time (for measured-cost scheduling), and the executing worker
+(``serial:<pid>``, ``process:<pid>``, or a remote worker id — placement
+provenance for distributed sweeps).  Wall time and worker are deliberately
+*outside* the canonical JSON, which must stay deterministic: where and how
+fast a run executed must never change its bytes.
 
 Schema::
 
     runs    (id, scenario, seed, code_version, engine, mechanism, auctions,
-             recorded_at, wall_time, result_json,
+             recorded_at, wall_time, worker, result_json,
              UNIQUE (scenario, seed, code_version, engine, mechanism))
     metrics (run_id -> runs.id, metric, value,
              PRIMARY KEY (run_id, metric))
@@ -21,7 +24,9 @@ Schema::
 Stores created before the mechanism dimension existed (no ``mechanism`` /
 ``wall_time`` columns, four-column unique key) are migrated in place on open:
 their rows are market runs by construction, so they re-key under
-``mechanism='market'`` with unknown wall times.
+``mechanism='market'`` with unknown wall times.  Stores from before the
+execution-backend layer merely lack the nullable ``worker`` column, which is
+added in place.
 
 ``code_version`` defaults to the version of the working tree — ``git describe
 --always --dirty`` where the package lives inside a git checkout, the package
@@ -73,6 +78,7 @@ CREATE TABLE IF NOT EXISTS runs (
     auctions     INTEGER NOT NULL,
     recorded_at  TEXT    NOT NULL,
     wall_time    REAL,
+    worker       TEXT,
     result_json  TEXT    NOT NULL,
     UNIQUE (scenario, seed, code_version, engine, mechanism)
 );
@@ -102,13 +108,14 @@ CREATE TABLE runs_migrated (
     auctions     INTEGER NOT NULL,
     recorded_at  TEXT    NOT NULL,
     wall_time    REAL,
+    worker       TEXT,
     result_json  TEXT    NOT NULL,
     UNIQUE (scenario, seed, code_version, engine, mechanism)
 );
 INSERT INTO runs_migrated (id, scenario, seed, code_version, engine, mechanism,
-                           auctions, recorded_at, wall_time, result_json)
+                           auctions, recorded_at, wall_time, worker, result_json)
 SELECT id, scenario, seed, code_version, engine, 'market', auctions,
-       recorded_at, NULL, result_json
+       recorded_at, NULL, NULL, result_json
 FROM runs;
 DROP TABLE runs;
 ALTER TABLE runs_migrated RENAME TO runs;
@@ -186,6 +193,9 @@ class StoredRun:
     recorded_at: str
     #: Observed wall time in seconds (``None`` for pre-migration rows).
     wall_time: float | None
+    #: Execution lane that produced the run — ``serial:<pid>``,
+    #: ``process:<pid>``, or a remote worker id (``None`` when unknown).
+    worker: str | None
     #: Scalar metrics (see :mod:`repro.results.metrics`).
     metrics: dict[str, float]
     #: The full canonical per-run report, as recorded.
@@ -213,6 +223,7 @@ class ResultStore:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(":memory:" if self.path is None else str(self.path))
         self._migrate_pre_mechanism()
+        self._migrate_pre_worker()
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
@@ -236,6 +247,26 @@ class ResultStore:
         self._conn.executescript(_MIGRATE_PRE_MECHANISM)
         self._conn.commit()
 
+    def _migrate_pre_worker(self) -> None:
+        """Add the nullable ``worker`` provenance column to older stores.
+
+        Unlike the mechanism migration this needs no table rebuild: the
+        column is not part of the unique key, so a plain ``ALTER TABLE``
+        suffices and existing rows keep ``NULL`` (worker unknown).
+        """
+        table_exists = self._conn.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = 'runs'"
+        ).fetchone()
+        if not table_exists:
+            return
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(runs)").fetchall()
+        }
+        if "worker" in columns:
+            return
+        self._conn.execute("ALTER TABLE runs ADD COLUMN worker TEXT")
+        self._conn.commit()
+
     # -- lifecycle ---------------------------------------------------------------------
     def close(self) -> None:
         if self._conn is not None:
@@ -257,17 +288,19 @@ class ResultStore:
         metrics = run_metrics(result)
         recorded_at = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
         wall_time = getattr(result, "wall_time_seconds", None)
+        worker = getattr(result, "worker", None)
         result_dict = result.to_dict()
         payload = json.dumps(result_dict, sort_keys=True)
         self._conn.execute(
             """
             INSERT INTO runs (scenario, seed, code_version, engine, mechanism,
-                              auctions, recorded_at, wall_time, result_json)
-            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+                              auctions, recorded_at, wall_time, worker, result_json)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
             ON CONFLICT (scenario, seed, code_version, engine, mechanism) DO UPDATE SET
                 auctions = excluded.auctions,
                 recorded_at = excluded.recorded_at,
                 wall_time = excluded.wall_time,
+                worker = excluded.worker,
                 result_json = excluded.result_json
             """,
             (
@@ -279,6 +312,7 @@ class ResultStore:
                 result.auctions,
                 recorded_at,
                 wall_time,
+                worker,
                 payload,
             ),
         )
@@ -307,6 +341,7 @@ class ResultStore:
             auctions=result.auctions,
             recorded_at=recorded_at,
             wall_time=wall_time,
+            worker=worker,
             metrics=metrics,
             result=result_dict,
         )
@@ -334,7 +369,7 @@ class ResultStore:
         rows = self._conn.execute(
             f"""
             SELECT id, scenario, seed, code_version, engine, mechanism, auctions,
-                   recorded_at, wall_time, result_json
+                   recorded_at, wall_time, worker, result_json
             FROM runs {clauses}
             ORDER BY scenario, code_version, engine, mechanism, seed
             """,
@@ -520,6 +555,7 @@ class ResultStore:
             auctions,
             recorded_at,
             wall_time,
+            worker,
             payload,
         ) = row
         metric_rows = self._conn.execute(
@@ -535,6 +571,7 @@ class ResultStore:
             auctions=int(auctions),
             recorded_at=str(recorded_at),
             wall_time=None if wall_time is None else float(wall_time),
+            worker=None if worker is None else str(worker),
             metrics={str(name): float(value) for name, value in metric_rows},
             result=json.loads(payload),
         )

@@ -1,21 +1,24 @@
-"""Parallel economy runner: fan independent scenarios out across a process pool.
+"""Parallel economy runner: fan independent scenarios out across an execution backend.
 
 Each catalog scenario is an independent economy — its own fleet, population,
 seed, allocation mechanism, and auction sequence — so a sweep over scenarios
 (or over replicate seeds of one scenario, or over mechanisms) is
-embarrassingly parallel.  :class:`ParallelRunner` executes the jobs across a
-:class:`~concurrent.futures.ProcessPoolExecutor`, streams each finished
-result into an aggregation callback as it lands, and assembles a
-:class:`SweepReport` whose canonical JSON is **byte-identical** regardless of
-worker count or completion order: every job carries its own seed, results are
-ordered by submission, and wall-clock timings are kept out of the canonical
-report (each result's measured wall time rides along in the non-canonical
-``wall_time_seconds`` field, which the result store persists so later sweeps
-can schedule from measured costs).
+embarrassingly parallel.  :class:`ParallelRunner` owns the *scheduling* of
+such a sweep — longest-job-first dispatch order fed by the result store's
+measured wall times, streaming aggregation, store persistence — and delegates
+the *execution* to a pluggable :class:`~repro.exec.base.ExecutionBackend`
+(``serial``, ``process``, or the multi-host ``remote`` fabric; see
+:mod:`repro.exec`).  The assembled :class:`SweepReport`'s canonical JSON is
+**byte-identical** regardless of backend, worker count, or completion order:
+every job carries its own seed, results are ordered by submission, and
+wall-clock timings are kept out of the canonical report (each result's
+measured wall time rides along in the non-canonical ``wall_time_seconds``
+field, which the result store persists so later sweeps can schedule from
+measured costs; likewise the executing worker's identity in ``worker``).
 
-With ``workers=1`` (or when a process pool cannot be created) the runner
-falls back to plain serial execution of the very same job list, which is what
-makes the determinism guarantee checkable:
+With ``workers=1`` (or when a process pool cannot be created) the default
+backend runs the very same job list serially, which is what makes the
+determinism guarantee checkable:
 ``run(names, workers=4).to_json() == run(names, workers=1).to_json()``.
 
 >>> from repro.simulation.catalog import get_scenario
@@ -29,10 +32,9 @@ makes the determinism guarantee checkable:
 
 from __future__ import annotations
 
+import dataclasses
 import json
-import os
 import time
-from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
@@ -107,6 +109,12 @@ class ScenarioRunResult:
     #: the canonical report (or equality): timings vary run to run, reports
     #: must not.  The result store persists it for measured-cost scheduling.
     wall_time_seconds: float | None = field(default=None, compare=False)
+    #: Which execution lane produced the run (``serial:<pid>``,
+    #: ``process:<pid>``, or a remote worker id).  Provenance only: like the
+    #: wall time it stays out of the canonical report and out of equality —
+    #: *where* a deterministic job ran must never show in the bytes — but the
+    #: result store persists it so a sweep's placement can be audited.
+    worker: str | None = field(default=None, compare=False)
 
     @property
     def premium_drop(self) -> float:
@@ -145,6 +153,32 @@ class ScenarioRunResult:
             "premium_drop": self.premium_drop,
             "utilization_spread_change": self.utilization_spread_change,
         }
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Mapping[str, object],
+        *,
+        wall_time_seconds: float | None = None,
+        worker: str | None = None,
+    ) -> "ScenarioRunResult":
+        """Rebuild a result from its canonical :meth:`to_dict` payload.
+
+        The inverse the remote execution fabric rides on: the canonical dict
+        holds plain rounded values that survive JSON bit-exactly, so
+        ``from_dict(json.loads(json.dumps(r.to_dict())))`` equals ``r``.
+        Derived entries (``premium_drop``, ``utilization_spread_change``) are
+        recomputed properties and ignored; the non-canonical sidecar fields
+        are supplied separately.
+
+        >>> from repro.simulation.catalog import get_scenario
+        >>> r = run_scenario(get_scenario("smoke").with_overrides(auctions=1))
+        >>> ScenarioRunResult.from_dict(r.to_dict()) == r
+        True
+        """
+        names = {f.name for f in dataclasses.fields(cls)} - {"wall_time_seconds", "worker"}
+        data = {key: value for key, value in payload.items() if key in names}
+        return cls(**data, wall_time_seconds=wall_time_seconds, worker=worker)
 
     @classmethod
     def from_history(
@@ -199,11 +233,6 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRunResult:
     start = time.perf_counter()
     result = mechanism.run(spec)
     return replace(result, wall_time_seconds=time.perf_counter() - start)
-
-
-def _run_job(spec: ScenarioSpec) -> ScenarioRunResult:
-    """Process-pool entry point (module-level so it pickles under any start method)."""
-    return run_scenario(spec)
 
 
 def expand_mechanisms(
@@ -353,22 +382,33 @@ class SweepReport:
 
 
 class ParallelRunner:
-    """Execute independent scenario jobs across a process pool.
+    """Schedule independent scenario jobs onto an execution backend.
 
-    ``workers=None`` uses every core up to the job count; ``workers=1`` runs
-    serially in-process.  If the pool cannot be created at all (sandboxes
-    that forbid subprocesses), the runner degrades to the serial path rather
-    than failing — the report is identical either way.
+    ``backend`` selects where jobs run: a registry name (``serial``,
+    ``process``, ``remote`` — see :mod:`repro.exec`), an already-configured
+    :class:`~repro.exec.base.ExecutionBackend` instance, or ``None`` for the
+    default ``process`` backend.  ``workers`` is forwarded to the backend:
+    pool size for ``process`` (``None`` uses every core up to the job count;
+    ``1`` runs serially in-process), minimum connected workers for
+    ``remote``.  If a process pool cannot be created at all (sandboxes that
+    forbid subprocesses), the process backend degrades to the serial path
+    rather than failing — the report is identical either way.
     """
 
-    def __init__(self, *, workers: int | None = None):
+    def __init__(self, *, workers: int | None = None, backend=None):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.backend = backend
 
-    def _resolve_workers(self, job_count: int) -> int:
-        workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
-        return max(1, min(workers, job_count))
+    def _resolve_backend(self):
+        """The configured backend instance jobs will run on."""
+        from repro.exec import DEFAULT_BACKEND, create_backend
+
+        backend = self.backend if self.backend is not None else DEFAULT_BACKEND
+        if isinstance(backend, str):
+            return create_backend(backend, workers=self.workers)
+        return backend
 
     def run_specs(
         self,
@@ -410,21 +450,17 @@ class ParallelRunner:
         if not specs:
             return SweepReport(results=())
         results: list[ScenarioRunResult | None] = [None] * len(specs)
-        workers = self._resolve_workers(len(specs))
-        if workers > 1:
-            try:
-                self._fill_from_pool(specs, workers, results, on_result, measured)
-            except (OSError, PermissionError, BrokenExecutor):
-                # Process pools are unavailable (restricted sandbox) or a
-                # worker could not be forked mid-run; the serial path below
-                # finishes only the jobs that have not completed yet, so
-                # ``on_result`` still fires exactly once per spec.
-                pass
-        for i, spec in enumerate(specs):
-            if results[i] is None:
-                results[i] = self._guarded(spec, run_scenario)
-                if on_result is not None:
-                    on_result(results[i])
+
+        def emit(i: int, result: ScenarioRunResult) -> None:
+            results[i] = result
+            if on_result is not None:
+                on_result(result)
+
+        # Heaviest jobs first: dispatch order decides the backend's makespan,
+        # the ``results`` slot index keeps the report in submission order.
+        self._resolve_backend().execute(
+            specs, order=longest_job_first(specs, measured), emit=emit
+        )
         return SweepReport(results=tuple(r for r in results if r is not None))
 
     def run_replicates(
@@ -445,46 +481,3 @@ class ParallelRunner:
         return self.run_specs(
             specs, on_result=on_result, store=store, code_version=code_version
         )
-
-    # -- execution paths -----------------------------------------------------------------
-    def _fill_from_pool(self, specs, workers, results, on_result, measured=None) -> None:
-        """Run the jobs across a pool, filling ``results`` slots as they land."""
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {}
-            try:
-                # Heaviest jobs first: queue position decides makespan, the
-                # ``results`` slot index keeps the report in submission order.
-                for i in longest_job_first(specs, measured):
-                    future = pool.submit(_run_job, specs[i])
-                    pending[future] = i
-                while pending:
-                    done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
-                    for future in done:
-                        i = pending.pop(future)
-                        error = future.exception()
-                        if error is not None:
-                            if isinstance(error, (OSError, PermissionError, BrokenExecutor)):
-                                # Worker creation/death failure, not a scenario
-                                # failure — leave the slot for the serial fallback.
-                                raise error
-                            raise RuntimeError(
-                                f"scenario {specs[i].name!r} failed in worker: {error}"
-                            ) from error
-                        results[i] = future.result()
-                        if on_result is not None:
-                            on_result(results[i])
-            except BaseException:
-                # Surface the failure now: drop queued jobs instead of letting
-                # the context manager's shutdown(wait=True) run them all first.
-                # (Jobs already executing in a worker cannot be interrupted.)
-                for future in pending:
-                    future.cancel()
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
-
-    @staticmethod
-    def _guarded(spec: ScenarioSpec, fn) -> ScenarioRunResult:
-        try:
-            return fn(spec)
-        except Exception as error:
-            raise RuntimeError(f"scenario {spec.name!r} failed: {error}") from error

@@ -11,6 +11,7 @@ from repro.baselines.comparison import (
     requests_from_demands,
 )
 from repro.baselines.fixed_price import FixedPriceAllocator
+from repro.baselines.lottery import LotteryAllocator
 from repro.baselines.priority import PriorityAllocator
 from repro.baselines.proportional import ProportionalShareAllocator
 from repro.baselines.requests import AllocationOutcome, QuotaRequest
@@ -106,6 +107,71 @@ class TestPriorityAllocator:
         outcome = PriorityAllocator().allocate(idle_index, requests)
         assert outcome.grant_fraction("first") == 1.0
         assert outcome.grant_fraction("second") < 1.0
+
+
+class TestLotteryAllocator:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            QuotaRequest(team="t", quantities={"a/cpu": 1}, weight=-1.0)
+
+    def test_deterministic_given_seed(self, idle_index):
+        requests = [
+            QuotaRequest(team=f"t{i}", quantities={"alpha/cpu": 300}, weight=float(i + 1))
+            for i in range(4)
+        ]
+        a = LotteryAllocator(seed=3).allocate(idle_index, requests)
+        b = LotteryAllocator(seed=3).allocate(idle_index, requests)
+        for team in a.teams():
+            np.testing.assert_array_equal(a.granted[team], b.granted[team])
+
+    def test_different_seeds_draw_different_orders(self, idle_index):
+        requests = [
+            QuotaRequest(team=f"t{i}", quantities={"alpha/cpu": 300}) for i in range(6)
+        ]
+        grants = set()
+        for seed in range(8):
+            outcome = LotteryAllocator(seed=seed).allocate(idle_index, requests)
+            grants.add(tuple(round(outcome.grant_fraction(t), 6) for t in sorted(outcome.teams())))
+        assert len(grants) > 1  # the order (hence who is rationed) varies
+
+    def test_budget_weight_biases_the_draw(self, idle_index):
+        # One whale vs one minnow contending for a pool that fits only one
+        # full request: across many draws the whale must win far more often.
+        requests = [
+            QuotaRequest(team="whale", quantities={"alpha/cpu": 400}, weight=1000.0),
+            QuotaRequest(team="minnow", quantities={"alpha/cpu": 400}, weight=1.0),
+        ]
+        whale_wins = sum(
+            LotteryAllocator(seed=seed).allocate(idle_index, requests).grant_fraction("whale") == 1.0
+            for seed in range(100)
+        )
+        assert whale_wins > 90
+
+    def test_zero_weight_requests_sort_last(self, idle_index):
+        requests = [
+            QuotaRequest(team="broke", quantities={"alpha/cpu": 400}, weight=0.0),
+            QuotaRequest(team="funded", quantities={"alpha/cpu": 400}, weight=5.0),
+        ]
+        for seed in range(10):
+            outcome = LotteryAllocator(seed=seed).allocate(idle_index, requests)
+            assert outcome.grant_fraction("funded") == 1.0
+
+    def test_reseed_pins_the_stream(self, idle_index):
+        requests = [
+            QuotaRequest(team=f"t{i}", quantities={"alpha/cpu": 300}) for i in range(4)
+        ]
+        a = LotteryAllocator()
+        a.reseed(np.random.default_rng(42))
+        b = LotteryAllocator()
+        b.reseed(np.random.default_rng(42))
+        oa = a.allocate(idle_index, requests)
+        ob = b.allocate(idle_index, requests)
+        for team in oa.teams():
+            np.testing.assert_array_equal(oa.granted[team], ob.granted[team])
+
+    def test_empty_request_list(self, idle_index):
+        outcome = LotteryAllocator().allocate(idle_index, [])
+        assert outcome.teams() == []
 
 
 class TestAllocationOutcomeAndMetrics:

@@ -6,8 +6,9 @@ them all with :mod:`doctest` so an API change that breaks an example breaks
 the tier-1 suite, not just the rendered docs.  The simulation sweep covers
 the scenario catalog and parallel runner modules; :mod:`repro.results`
 (the persistent result store and replicate statistics), :mod:`repro.mechanisms`
-(the allocation-mechanism registry), and :mod:`repro.cli` are included so the
-``python -m repro``, store, and mechanism examples stay honest.
+(the allocation-mechanism registry), :mod:`repro.exec` (the execution-backend
+registry and remote fabric), and :mod:`repro.cli` are included so the
+``python -m repro``, store, mechanism, and backend examples stay honest.
 """
 
 import doctest
@@ -19,6 +20,7 @@ import pytest
 import repro.bidlang
 import repro.cluster
 import repro.core
+import repro.exec
 import repro.mechanisms
 import repro.results
 import repro.simulation
@@ -39,6 +41,7 @@ MODULES = sorted(
         + _modules_of(repro.simulation)
         + _modules_of(repro.results)
         + _modules_of(repro.mechanisms)
+        + _modules_of(repro.exec)
         + ["repro.cli"]
     )
 )

@@ -110,7 +110,9 @@ class TestClockRounds:
 class TestBaselineComparison:
     def test_market_balances_utilization_better(self):
         result = run_baseline_comparison(TEST_SCALE, market_auctions=2)
-        assert set(result.metrics) == {"fixed_price_fcfs", "proportional_share", "priority", "market"}
+        assert set(result.metrics) == {
+            "fixed_price_fcfs", "proportional_share", "priority", "lottery", "market",
+        }
         market = result.market()
         fixed = result.baseline("fixed_price_fcfs")
         assert market.utilization_spread <= fixed.utilization_spread + 1e-9

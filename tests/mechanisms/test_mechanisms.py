@@ -39,12 +39,16 @@ def tiny_spec(mechanism: str = "market", seed: int = 0, auctions: int = 2) -> Sc
 
 
 class TestRegistry:
-    def test_all_four_mechanisms_registered(self):
-        assert mechanism_names() == ["market", "fixed-price", "priority", "proportional"]
+    def test_all_five_mechanisms_registered(self):
+        assert mechanism_names() == [
+            "market", "fixed-price", "lottery", "priority", "proportional",
+        ]
 
     def test_default_leads_the_listing(self):
         assert mechanism_names()[0] == DEFAULT_MECHANISM == "market"
-        assert baseline_mechanism_names() == ["fixed-price", "priority", "proportional"]
+        assert baseline_mechanism_names() == [
+            "fixed-price", "lottery", "priority", "proportional",
+        ]
 
     def test_lookup_returns_named_mechanism(self):
         for name in mechanism_names():
@@ -98,7 +102,7 @@ class TestMarketMechanism:
 
 
 class TestBaselineMechanisms:
-    @pytest.mark.parametrize("name", ["fixed-price", "priority", "proportional"])
+    @pytest.mark.parametrize("name", ["fixed-price", "priority", "proportional", "lottery"])
     def test_trajectories_have_one_entry_per_epoch(self, name):
         result = get_mechanism(name).run(tiny_spec(mechanism=name, auctions=3))
         assert result.mechanism == name
@@ -118,14 +122,14 @@ class TestBaselineMechanisms:
         ):
             assert len(series) == 3
 
-    @pytest.mark.parametrize("name", ["fixed-price", "priority", "proportional"])
+    @pytest.mark.parametrize("name", ["fixed-price", "priority", "proportional", "lottery"])
     def test_no_price_discovery(self, name):
         result = get_mechanism(name).run(tiny_spec(mechanism=name))
         assert result.clearing_rounds == [0, 0]
         assert result.median_premium == [1.0, 1.0]
         assert result.migration == zero_migration_summary()
 
-    @pytest.mark.parametrize("name", ["fixed-price", "priority", "proportional"])
+    @pytest.mark.parametrize("name", ["fixed-price", "priority", "proportional", "lottery"])
     def test_deterministic_under_fixed_seed(self, name):
         spec = tiny_spec(mechanism=name, seed=7)
         assert get_mechanism(name).run(spec) == get_mechanism(name).run(spec)

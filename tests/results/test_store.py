@@ -262,6 +262,91 @@ class TestPreMechanismMigration:
         with ResultStore(path) as store:  # second open must not re-migrate
             assert len(store) == 1
 
+    def test_old_rows_carry_no_worker_provenance(self, tmp_path):
+        path = self.old_store(tmp_path)
+        with ResultStore(path) as store:
+            (run,) = store.runs()
+            assert run.worker is None
+
+
+class TestWorkerProvenance:
+    """The ``worker`` column records which execution lane produced each run."""
+
+    _PRE_WORKER_SCHEMA = """
+    CREATE TABLE runs (
+        id           INTEGER PRIMARY KEY,
+        scenario     TEXT    NOT NULL,
+        seed         INTEGER NOT NULL,
+        code_version TEXT    NOT NULL,
+        engine       TEXT    NOT NULL,
+        mechanism    TEXT    NOT NULL DEFAULT 'market',
+        auctions     INTEGER NOT NULL,
+        recorded_at  TEXT    NOT NULL,
+        wall_time    REAL,
+        result_json  TEXT    NOT NULL,
+        UNIQUE (scenario, seed, code_version, engine, mechanism)
+    );
+    CREATE TABLE metrics (
+        run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+        metric TEXT    NOT NULL,
+        value  REAL    NOT NULL,
+        PRIMARY KEY (run_id, metric)
+    );
+    """
+
+    def test_record_persists_the_worker(self, fake_run_result):
+        import dataclasses
+
+        with ResultStore(":memory:") as store:
+            result = dataclasses.replace(fake_run_result(), worker="remote-w1")
+            stored = store.record(result, code_version="v1")
+            assert stored.worker == "remote-w1"
+            assert store.runs()[0].worker == "remote-w1"
+
+    def test_worker_defaults_to_none(self, fake_run_result):
+        with ResultStore(":memory:") as store:
+            store.record(fake_run_result(), code_version="v1")
+            assert store.runs()[0].worker is None
+
+    def test_rerecord_replaces_the_worker(self, fake_run_result):
+        import dataclasses
+
+        with ResultStore(":memory:") as store:
+            store.record(
+                dataclasses.replace(fake_run_result(), worker="w1"), code_version="v1"
+            )
+            store.record(
+                dataclasses.replace(fake_run_result(), worker="w2"), code_version="v1"
+            )
+            assert len(store) == 1  # same key: refreshed, not duplicated
+            assert store.runs()[0].worker == "w2"
+
+    def test_pre_worker_store_migrates_in_place(self, tmp_path, fake_run_result):
+        import dataclasses
+        import sqlite3
+
+        path = tmp_path / "pre-worker.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(self._PRE_WORKER_SCHEMA)
+        conn.execute(
+            "INSERT INTO runs (scenario, seed, code_version, engine, mechanism,"
+            " auctions, recorded_at, wall_time, result_json) VALUES"
+            " ('smoke', 0, 'pr-4', 'auto', 'market', 2, '2026-01-01T00:00:00',"
+            " 1.5, '{}')"
+        )
+        conn.commit()
+        conn.close()
+        with ResultStore(path) as store:
+            (run,) = store.runs()
+            assert run.worker is None
+            assert run.wall_time == 1.5  # untouched by the column addition
+            store.record(
+                dataclasses.replace(fake_run_result(scenario="smoke", seed=1), worker="w1"),
+                code_version="pr-5",
+            )
+        with ResultStore(path) as store:  # idempotent on reopen
+            assert {run.worker for run in store.runs()} == {None, "w1"}
+
 
 class TestRunnerIntegration:
     def test_runner_records_every_replicate(self):

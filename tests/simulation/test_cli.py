@@ -123,6 +123,90 @@ class TestStorePersistence:
             assert store.code_versions() == ["pr-42"]
 
 
+class TestBackendCLI:
+    def test_backend_list_names_every_backend(self, capsys):
+        assert main(["sweep", "--backend", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "process", "remote"):
+            assert name in out
+
+    def test_backend_list_works_on_run_too(self, capsys):
+        assert main(["run", "smoke", "--backend", "list"]) == 0
+        assert "remote" in capsys.readouterr().out
+
+    def test_unknown_backend_exits_2_with_available(self, capsys):
+        assert main(["run", "smoke", "--backend", "teleport"]) == 2
+        err = capsys.readouterr().err
+        assert "serial" in err and "remote" in err
+
+    def test_bind_without_remote_backend_exits_2(self, capsys):
+        assert main(["run", "smoke", "--bind", "127.0.0.1:7077"]) == 2
+        assert "--backend remote" in capsys.readouterr().err
+
+    def test_malformed_bind_exits_2(self, capsys):
+        assert main(["sweep", "smoke", "--backend", "remote", "--bind", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_explicit_serial_backend_runs_and_stamps_provenance(self, tmp_path):
+        db = tmp_path / "store.sqlite"
+        assert main(["run", "smoke", "--backend", "serial", "--auctions", "1",
+                     "--db", str(db)]) == 0
+        with ResultStore(db) as store:
+            (run,) = store.runs()
+            assert run.worker.startswith("serial:")
+
+    def test_remote_backend_sweep_end_to_end(self, tmp_path):
+        """CLI remote sweep against an in-process worker matches the serial
+        report byte for byte."""
+        import threading
+
+        from repro.exec import run_worker
+
+        # Bind port 0 via a pre-built backend is not reachable from the CLI,
+        # so grab a free port the OS just released.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        worker = threading.Thread(
+            target=run_worker,
+            args=(f"127.0.0.1:{port}",),
+            kwargs=dict(worker_id="cli-w1", retry_seconds=10.0),
+            daemon=True,
+        )
+        worker.start()
+        remote_out = tmp_path / "remote.json"
+        serial_out = tmp_path / "serial.json"
+        assert main(["sweep", "smoke", "--auctions", "1", "--backend", "remote",
+                     "--bind", f"127.0.0.1:{port}", "--no-store",
+                     "--out", str(remote_out)]) == 0
+        worker.join(timeout=5)
+        assert main(["sweep", "smoke", "--auctions", "1", "--workers", "1",
+                     "--no-store", "--out", str(serial_out)]) == 0
+        assert remote_out.read_bytes() == serial_out.read_bytes()
+
+
+class TestWorkerCLI:
+    def test_connect_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_malformed_connect_exits_2(self, capsys):
+        assert main(["worker", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_invalid_capacity_exits_2(self, capsys):
+        assert main(["worker", "--connect", "127.0.0.1:7077", "--capacity", "0"]) == 2
+        assert "capacity" in capsys.readouterr().err
+
+    def test_unreachable_coordinator_exits_1(self, capsys):
+        assert main(["worker", "--connect", "127.0.0.1:1", "--retry", "0.2"]) == 1
+        assert "no coordinator" in capsys.readouterr().err
+
+
 class TestResultsVerbs:
     def seeded_db(self, tmp_path, fake_run_result):
         """Two code versions: v2 degrades revenue by ~50% vs v1."""
@@ -274,9 +358,9 @@ class TestMechanismCLI:
         assert main(["run", "smoke", "--workers", "1", "--auctions", "1",
                      "--mechanism", "all", "--replicates", "2", "--db", str(db)]) == 0
         with ResultStore(db) as store:
-            assert len(store) == 8  # 4 mechanisms x 2 replicate seeds
+            assert len(store) == 10  # 5 mechanisms x 2 replicate seeds
             assert store.mechanisms() == sorted(
-                ["market", "fixed-price", "priority", "proportional"]
+                ["market", "fixed-price", "lottery", "priority", "proportional"]
             )
 
     def test_unknown_mechanism_exits_2_with_available_list(self, capsys):

@@ -139,7 +139,7 @@ class TestLongestJobFirst:
     def test_pool_submission_uses_longest_job_first(self, monkeypatch):
         """The pool path hands jobs to the executor in cost order, while the
         report stays in submission order."""
-        import repro.simulation.runner as runner_mod
+        import repro.exec.process as process_mod
         from concurrent.futures import Future
 
         submitted: list[str] = []
@@ -163,7 +163,7 @@ class TestLongestJobFirst:
             def shutdown(self, **kwargs):
                 pass
 
-        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", FakeExecutor)
+        monkeypatch.setattr(process_mod, "ProcessPoolExecutor", FakeExecutor)
         small = tiny_spec("small", seed=1, auctions=1)
         big = tiny_spec("big", seed=2, auctions=3)  # 3x the cost estimate
         report = ParallelRunner(workers=2).run_specs([small, big])
@@ -307,7 +307,7 @@ class TestMeasuredCostScheduling:
 
     def test_pool_submission_prefers_store_measurements(self, monkeypatch, tmp_path):
         """A store with observed wall times reorders pool submission."""
-        import repro.simulation.runner as runner_mod
+        import repro.exec.process as process_mod
         from concurrent.futures import Future
         from repro.results.store import ResultStore
 
@@ -332,7 +332,7 @@ class TestMeasuredCostScheduling:
             def shutdown(self, **kwargs):
                 pass
 
-        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", FakeExecutor)
+        monkeypatch.setattr(process_mod, "ProcessPoolExecutor", FakeExecutor)
         small = tiny_spec("small", seed=1, auctions=1)
         big = tiny_spec("big", seed=2, auctions=3)
         with ResultStore(tmp_path / "measured.sqlite") as store:
