@@ -4,7 +4,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Port the smoke target's remote-backend leg listens on (localhost only).
 SMOKE_PORT ?= 7351
 
-.PHONY: test doctest bench bench-smoke smoke check
+.PHONY: test doctest bench bench-smoke smoke chaos check
 
 ## tier-1: full unit/property/integration suite plus quick benchmarks
 test:
@@ -48,5 +48,13 @@ smoke:
 	cmp smoke-report-remote.json smoke-report-process.json
 	rm -f smoke-report-remote.json smoke-report-process.json
 
+## deterministic fault-injection suite for the persistent worker fleet:
+## scripted kills / dropped heartbeats / delayed and duplicated frames
+## (seeded, replayable), the job-queue state machine, and the control
+## plane + HMAC handshake (see docs/testing.md)
+chaos:
+	$(PYTHON) -m pytest tests/exec/test_chaos.py tests/exec/test_queue.py \
+	    tests/exec/test_control.py tests/property/test_property_queue.py -q
+
 ## everything CI runs
-check: test doctest smoke
+check: test doctest chaos smoke

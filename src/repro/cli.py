@@ -1,6 +1,6 @@
 """``python -m repro`` — run catalog scenarios from the command line.
 
-Six subcommands:
+Seven subcommands:
 
 ``list``
     Show every scenario in the catalog (name, scale, tags, description).
@@ -19,7 +19,16 @@ Six subcommands:
     Serve jobs for a ``remote``-backend coordinator: ``python -m repro
     worker --connect HOST:PORT`` dials the sweep process, announces an id
     and in-flight capacity, and executes streamed scenarios until the
-    coordinator shuts it down (see ``docs/distributed.md``).
+    coordinator shuts it down.  ``--daemon`` keeps the worker alive across
+    sweeps (it redials after each one) until a ``workers drain`` retires
+    it; ``--secret`` authenticates against a coordinator run with the same
+    secret (see ``docs/distributed.md``).
+``workers``
+    Manage a live coordinator's fleet over its control plane:
+    ``workers list`` (per-worker status plus job-queue depths),
+    ``workers drain`` (finish in-flight jobs, retire every worker),
+    ``workers scale N`` (shrink the fleet without losing queued jobs, or
+    report how many more workers to start).
 ``compare-mechanisms``
     Compare one scenario's stored replicates across allocation mechanisms:
     mean / 95% CI per metric per mechanism, with a direction-aware leader
@@ -52,6 +61,14 @@ True
 'remote'
 >>> build_parser().parse_args(["worker", "--connect", "host:7077"]).capacity
 1
+>>> build_parser().parse_args(["worker", "--connect", "host:7077", "--daemon"]).daemon
+True
+>>> build_parser().parse_args(["workers", "list", "--connect", "host:7077"]).workers_command
+'list'
+>>> build_parser().parse_args(["workers", "scale", "3", "--connect", "host:7077"]).count
+3
+>>> build_parser().parse_args(["sweep", "--backend", "remote", "--persist"]).persist
+True
 >>> build_parser().parse_args(["compare-mechanisms", "smoke"]).scenario
 'smoke'
 >>> build_parser().parse_args(["results", "show", "smoke"]).scenario
@@ -123,6 +140,31 @@ def build_parser() -> argparse.ArgumentParser:
                                  "this long (default 10)")
     worker_cmd.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
                             help="seconds between heartbeats (default 1)")
+    worker_cmd.add_argument("--daemon", action="store_true",
+                            help="survive across sweeps: redial after each one until "
+                                 "a `workers drain` retires this worker")
+    worker_cmd.add_argument("--secret", default=None, metavar="SECRET",
+                            help="shared secret for the coordinator handshake "
+                                 "(default: $REPRO_SECRET)")
+
+    workers_cmd = sub.add_parser(
+        "workers", help="manage a live coordinator's worker fleet")
+    workers_sub = workers_cmd.add_subparsers(dest="workers_command", required=True)
+    w_list = workers_sub.add_parser("list", help="per-worker status and queue depths")
+    w_list.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    w_drain = workers_sub.add_parser(
+        "drain", help="finish in-flight jobs, then retire every worker")
+    w_drain.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                         help="bound how long the coordinator waits on stuck jobs")
+    w_scale = workers_sub.add_parser(
+        "scale", help="shrink the fleet to N workers (queued jobs are never lost)")
+    w_scale.add_argument("count", type=int, help="target fleet size")
+    for w_sub in (w_list, w_drain, w_scale):
+        w_sub.add_argument("--connect", required=True, metavar="HOST:PORT",
+                           help="coordinator address (the sweep's --bind)")
+        w_sub.add_argument("--secret", default=None, metavar="SECRET",
+                           help="shared secret for the coordinator handshake "
+                                "(default: $REPRO_SECRET)")
 
     cmp_mech = sub.add_parser(
         "compare-mechanisms",
@@ -187,6 +229,19 @@ def _add_run_options(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--bind", default=None, metavar="HOST:PORT",
                      help="remote backend only: coordinator listen address "
                           "(default 127.0.0.1:7077; port 0 picks one)")
+    cmd.add_argument("--secret", default=None, metavar="SECRET",
+                     help="remote backend only: require workers to know this shared "
+                          "secret (default: $REPRO_SECRET)")
+    cmd.add_argument("--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+                     help="remote backend only: declare a silent worker lost after "
+                          "this long (default 10)")
+    cmd.add_argument("--retry-budget", type=int, default=None, metavar="N",
+                     help="remote backend only: worker-loss requeues allowed per job "
+                          "before the sweep aborts (default 5)")
+    cmd.add_argument("--persist", action="store_true",
+                     help="remote backend only: keep the coordinator and its fleet "
+                          "alive after the report, serving `workers` control "
+                          "commands, until a `workers drain` retires it")
     cmd.add_argument("--auctions", type=int, default=None, metavar="N",
                      help="override the scenario's auction count")
     cmd.add_argument("--seed", type=int, default=None, help="override the scenario's seed")
@@ -237,6 +292,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "worker":
             return _cmd_worker(args)
+        if args.command == "workers":
+            return _cmd_workers(args)
         if args.command == "compare-mechanisms":
             return _cmd_compare_mechanisms(args)
         return _cmd_results(args)
@@ -314,6 +371,8 @@ def _backend_for(args: argparse.Namespace):
     a usage error rather than a silently dead flag.
     """
     from repro.exec import DEFAULT_BIND, RemoteBackend, backend_names, parse_hostport
+    from repro.exec.coordinator import DEFAULT_HEARTBEAT_TIMEOUT
+    from repro.exec.queue import DEFAULT_RETRY_BUDGET
 
     if args.backend == "remote":
         bind = args.bind or DEFAULT_BIND
@@ -321,15 +380,46 @@ def _backend_for(args: argparse.Namespace):
             parse_hostport(bind)
         except ValueError as error:
             raise _UsageError(str(error)) from None
-        return RemoteBackend(bind=bind, workers=args.workers)
-    if args.bind is not None:
-        raise _UsageError("--bind only applies to --backend remote")
+        if args.heartbeat_timeout is not None and args.heartbeat_timeout <= 0:
+            raise _UsageError("--heartbeat-timeout must be positive seconds")
+        if args.retry_budget is not None and args.retry_budget < 0:
+            raise _UsageError("--retry-budget must be >= 0")
+        return RemoteBackend(
+            bind=bind,
+            workers=args.workers,
+            secret=_secret(args),
+            heartbeat_timeout=(
+                DEFAULT_HEARTBEAT_TIMEOUT
+                if args.heartbeat_timeout is None
+                else args.heartbeat_timeout
+            ),
+            retry_budget=(
+                DEFAULT_RETRY_BUDGET if args.retry_budget is None else args.retry_budget
+            ),
+            persistent=args.persist,
+        )
+    for flag, value in (
+        ("--bind", args.bind),
+        ("--secret", args.secret),
+        ("--heartbeat-timeout", args.heartbeat_timeout),
+        ("--retry-budget", args.retry_budget),
+        ("--persist", args.persist or None),
+    ):
+        if value is not None:
+            raise _UsageError(f"{flag} only applies to --backend remote")
     if args.backend is None:
         return None
     if args.backend not in backend_names():
         known = ", ".join(backend_names())
         raise _UsageError(f"unknown backend {args.backend!r}; available: {known} (or 'list')")
     return args.backend
+
+
+def _secret(args: argparse.Namespace) -> str | None:
+    """The shared secret: the explicit flag, else the ambient $REPRO_SECRET."""
+    if args.secret is not None:
+        return args.secret
+    return os.environ.get("REPRO_SECRET") or None
 
 
 def _mechanisms(args: argparse.Namespace) -> list[str] | None:
@@ -415,7 +505,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise _UsageError("--replicates must be >= 1")
     spec = _get_spec(args.scenario).with_overrides(**_overrides(args))
     mechanisms = _mechanisms(args)
-    runner = ParallelRunner(workers=args.workers, backend=_backend_for(args))
+    backend = _backend_for(args)
+    runner = ParallelRunner(workers=args.workers, backend=backend)
     store, version = _store_for(args)
     start = time.perf_counter()
     try:
@@ -442,6 +533,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if store is not None:
             store.close()
     _emit(report, args, time.perf_counter() - start, args.workers)
+    _maybe_persist(backend, args)
     return 0
 
 
@@ -464,7 +556,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         + ", ".join(sorted({s.name for s in specs})),
         file=sys.stderr,
     )
-    runner = ParallelRunner(workers=args.workers, backend=_backend_for(args))
+    backend = _backend_for(args)
+    runner = ParallelRunner(workers=args.workers, backend=backend)
     store, version = _store_for(args)
     start = time.perf_counter()
     try:
@@ -475,7 +568,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if store is not None:
             store.close()
     _emit(report, args, time.perf_counter() - start, args.workers)
+    _maybe_persist(backend, args)
     return 0
+
+
+def _maybe_persist(backend, args: argparse.Namespace) -> None:
+    """``--persist``: keep serving the fleet until a drain retires it."""
+    if not getattr(args, "persist", False) or backend is None:
+        return
+    print(
+        f"fleet persisted on {backend.address}; inspect with "
+        f"`python -m repro workers list --connect {backend.address}`, "
+        f"retire with `python -m repro workers drain --connect {backend.address}`",
+        file=sys.stderr,
+    )
+    try:
+        backend.wait_drained()
+    except KeyboardInterrupt:
+        print("interrupted; releasing the fleet (workers survive)", file=sys.stderr)
+    backend.close()
 
 
 # -- worker -------------------------------------------------------------------------------
@@ -502,11 +613,83 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             heartbeat_interval=(
                 DEFAULT_HEARTBEAT_INTERVAL if args.heartbeat is None else args.heartbeat
             ),
+            secret=_secret(args),
+            daemon=args.daemon,
             log=lambda message: print(message, file=sys.stderr),
         )
     except WorkerError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+# -- workers (control plane) --------------------------------------------------------------
+
+
+def _cmd_workers(args: argparse.Namespace) -> int:
+    from repro.exec import ControlClient, ControlError, parse_hostport
+
+    try:
+        parse_hostport(args.connect)
+    except ValueError as error:
+        raise _UsageError(str(error)) from None
+    try:
+        with ControlClient(args.connect, secret=_secret(args)) as fleet:
+            if args.workers_command == "list":
+                return _print_fleet(fleet.list(), as_json=args.json)
+            if args.workers_command == "drain":
+                reply = fleet.drain(timeout=args.timeout)
+                print(f"fleet drained: {reply['workers']} worker(s) retired")
+                return 0
+            reply = fleet.scale(args.count)
+            print(
+                f"fleet at {reply['alive']} worker(s) "
+                f"({reply['stopped']} retired)"
+            )
+            if reply["needed"]:
+                print(
+                    f"start {reply['needed']} more with "
+                    f"`python -m repro worker --connect {args.connect} --daemon`"
+                )
+            return 0
+    except ControlError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _print_fleet(fleet: dict, *, as_json: bool) -> int:
+    if as_json:
+        import json
+
+        print(json.dumps(fleet, indent=2, sort_keys=True))
+        return 0
+    workers = fleet.get("workers", [])
+    state = "sweeping" if fleet.get("sweeping") else "idle"
+    if fleet.get("draining"):
+        state += ", draining"
+    print(f"coordinator {fleet.get('address')}: {len(workers)} worker(s), {state}")
+    if workers:
+        header = (
+            f"{'worker':<28} {'mode':<7} {'cap':>4} {'busy':>5} {'done':>5} "
+            f"{'status':<7} {'connected':>10}"
+        )
+        print(header)
+        print("-" * len(header))
+        for row in workers:
+            mode = "daemon" if row.get("daemon") else "once"
+            if row.get("draining"):
+                mode += "*"
+            print(
+                f"{row['worker']:<28} {mode:<7} {row['capacity']:>4} "
+                f"{row['in_flight']:>5} {row['jobs_done']:>5} {row['status']:<7} "
+                f"{row['connected_seconds']:>9.0f}s"
+            )
+    queue = fleet.get("queue")
+    if queue:
+        print(
+            "queue: "
+            + ", ".join(f"{state} {count}" for state, count in sorted(queue.items()))
+        )
     return 0
 
 

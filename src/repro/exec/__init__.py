@@ -23,10 +23,26 @@ from repro.exec.base import (
     get_backend_factory,
     register_backend,
 )
+from repro.exec.control import ControlClient, ControlError
 from repro.exec.coordinator import DEFAULT_BIND, RemoteBackend
 from repro.exec.process import ProcessBackend
+from repro.exec.queue import (
+    DEFAULT_RETRY_BUDGET,
+    IllegalTransition,
+    Job,
+    JobQueue,
+    JobState,
+    RetryBudgetExhausted,
+)
 from repro.exec.serial import SerialBackend, run_one
-from repro.exec.worker import WorkerError, default_worker_id, parse_hostport, run_worker
+from repro.exec.wire import DEFAULT_TRANSPORT, Transport
+from repro.exec.worker import (
+    WorkerError,
+    WorkerRejected,
+    default_worker_id,
+    parse_hostport,
+    run_worker,
+)
 
 register_backend(SerialBackend)
 register_backend(ProcessBackend)
@@ -34,13 +50,24 @@ register_backend(RemoteBackend)
 
 __all__ = [
     "BACKENDS",
+    "ControlClient",
+    "ControlError",
     "DEFAULT_BACKEND",
     "DEFAULT_BIND",
+    "DEFAULT_RETRY_BUDGET",
+    "DEFAULT_TRANSPORT",
     "ExecutionBackend",
+    "IllegalTransition",
+    "Job",
+    "JobQueue",
+    "JobState",
     "ProcessBackend",
     "RemoteBackend",
+    "RetryBudgetExhausted",
     "SerialBackend",
+    "Transport",
     "WorkerError",
+    "WorkerRejected",
     "backend_names",
     "backend_summaries",
     "create_backend",

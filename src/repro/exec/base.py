@@ -20,8 +20,16 @@ Registered backends:
 ``process``  Fan jobs across a local :class:`~concurrent.futures.ProcessPoolExecutor`
              (falls back to serial where subprocesses are forbidden).
 ``remote``   Stream jobs over TCP to ``python -m repro worker`` daemons on
-             any number of hosts, with heartbeats and retry-on-worker-loss.
+             any number of hosts, with heartbeats, retry budgets, an
+             optional shared-secret handshake, and a control plane
+             (``repro workers list|drain|scale``) for persistent fleets.
 ===========  ==============================================================
+
+Backends may additionally expose an optional ``set_worker_speeds(mapping)``
+hook; when present, :class:`~repro.simulation.runner.ParallelRunner` feeds it
+per-worker speed factors derived from the result store's wall-time histories
+so dispatch can be host-aware (the remote backend sends the heaviest job to
+the fastest free worker).
 
 >>> from repro.exec import backend_names, get_backend_factory
 >>> backend_names()

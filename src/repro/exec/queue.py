@@ -1,0 +1,279 @@
+"""The coordinator's job queue: an explicit QUEUED/RUNNING/DONE/ERROR lifecycle.
+
+PR 5's coordinator tracked a sweep with a bare ``deque`` of pending indices
+and a ``set`` of done ones — enough for one sweep, but a *service* needs the
+lifecycle to be inspectable (``repro workers list`` reports queue depths),
+bounded (a job that keeps forfeiting must eventually abort the sweep instead
+of ping-ponging forever), and testable as a state machine in its own right.
+
+:class:`JobQueue` is that state machine.  Each job moves through:
+
+.. code-block:: text
+
+            mark_running                mark_done
+   QUEUED ---------------> RUNNING -----------------> DONE   (terminal)
+      ^                      |  |
+      |       requeue        |  |      mark_error
+      +----------------------+  +-------------------> ERROR  (terminal)
+        (worker lost; burns
+         one retry; budget
+         exhausted => ERROR)
+
+plus one deliberate extra edge: ``QUEUED -> DONE``.  A worker declared lost
+prematurely may still deliver its result while the retried copy sits queued
+— the job is deterministic, the bytes are the same, so the straggler result
+is accepted and the queued retry evaporates (see ``docs/distributed.md``,
+failure semantics).  Every other transition raises
+:class:`IllegalTransition`; terminal states never move again.
+
+Dispatch order is longest-job-first: the queue is seeded with the caller's
+priority order and :meth:`next_job` always hands out the front.  A requeued
+job goes back to the *front* (``front=True``), preserving the coordinator's
+invariant that the heaviest forfeited job restarts before anything lighter.
+
+>>> q = JobQueue([1, 0], retry_budget=1)    # job 1 is the heavier one
+>>> q.next_job()
+1
+>>> q.mark_running(1, worker="w0")
+>>> q.requeue(1, front=True)                # w0 died: burns the only retry
+>>> q.job(1).retries_left
+0
+>>> q.mark_running(q.next_job(), worker="w1")
+>>> q.mark_done(1)
+>>> q.counts()["done"]
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Sequence
+
+#: How many times one job may be forfeited by a lost worker before the
+#: coordinator gives up on the sweep.  Worker loss is *infrastructure*
+#: failure — normally transient — so the budget is generous; a fleet that
+#: eats the same job five times has a systemic problem retrying will not fix.
+DEFAULT_RETRY_BUDGET = 5
+
+
+class JobState(str, Enum):
+    """Lifecycle states of one job on the coordinator."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    ERROR = "error"
+
+
+class IllegalTransition(RuntimeError):
+    """A lifecycle edge the state machine does not allow (a coordinator bug)."""
+
+
+class RetryBudgetExhausted(RuntimeError):
+    """A job forfeited by lost workers more times than its retry budget allows."""
+
+
+@dataclass
+class Job:
+    """Coordinator-side record of one sweep job."""
+
+    index: int
+    #: Human label for error messages and the control plane (scenario name).
+    label: str
+    state: JobState = JobState.QUEUED
+    #: Times the job has been dispatched to a worker.
+    attempts: int = 0
+    #: Worker-loss requeues still allowed before the sweep aborts.
+    retries_left: int = DEFAULT_RETRY_BUDGET
+    #: Worker currently (or last) running the job.
+    worker: str | None = None
+    #: Error message once the job is in ERROR.
+    error: str | None = None
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-JSON view for the control plane."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "retries_left": self.retries_left,
+            "worker": self.worker,
+            "error": self.error,
+        }
+
+
+@dataclass
+class _QueueStats:
+    dispatches: int = 0
+    requeues: int = 0
+
+
+class JobQueue:
+    """Longest-job-first queue with an explicit per-job lifecycle.
+
+    ``order`` is the priority order (indices, heaviest first) the caller
+    computed — exactly what :func:`repro.simulation.runner.longest_job_first`
+    produces.  ``labels`` maps indices to human names (scenario names) used
+    in error messages; unnamed jobs fall back to ``job <index>``.
+    """
+
+    def __init__(
+        self,
+        order: Sequence[int],
+        *,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+        labels: dict[int, str] | None = None,
+    ):
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if len(set(order)) != len(order):
+            raise ValueError("job order contains duplicate indices")
+        labels = labels or {}
+        self._jobs: dict[int, Job] = {
+            index: Job(
+                index=index,
+                label=labels.get(index, f"job {index}"),
+                retries_left=retry_budget,
+            )
+            for index in order
+        }
+        #: QUEUED indices in dispatch order (front = next to run).
+        self._queued: list[int] = list(order)
+        self.stats = _QueueStats()
+
+    # -- introspection -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs.values())
+
+    def __contains__(self, index: object) -> bool:
+        """Whether ``index`` is one of this sweep's job indices.
+
+        Explicit on purpose: without it, ``in`` would fall back to iterating
+        the :class:`Job` records and an integer index would never match.
+        """
+        return index in self._jobs
+
+    def job(self, index: int) -> Job:
+        """The lifecycle record of one job (KeyError for unknown indices)."""
+        return self._jobs[index]
+
+    def state(self, index: int) -> JobState:
+        return self._jobs[index].state
+
+    def counts(self) -> dict[str, int]:
+        """How many jobs sit in each state (the control plane's queue view).
+
+        >>> JobQueue([0, 1]).counts()
+        {'queued': 2, 'running': 0, 'done': 0, 'error': 0}
+        """
+        totals = {state.value: 0 for state in JobState}
+        for job in self._jobs.values():
+            totals[job.state.value] += 1
+        return totals
+
+    @property
+    def finished(self) -> bool:
+        """True once every job is terminal (DONE or ERROR)."""
+        return all(
+            job.state in (JobState.DONE, JobState.ERROR) for job in self._jobs.values()
+        )
+
+    @property
+    def done_count(self) -> int:
+        return sum(1 for job in self._jobs.values() if job.state is JobState.DONE)
+
+    # -- transitions -------------------------------------------------------------------
+    def next_job(self) -> int | None:
+        """The next QUEUED index in priority order, or ``None`` when empty.
+
+        Peeks without transitioning: the caller marks the job RUNNING only
+        once its dispatch frame actually went out.
+        """
+        return self._queued[0] if self._queued else None
+
+    def mark_running(self, index: int, *, worker: str) -> None:
+        """QUEUED -> RUNNING: the job's frame was handed to ``worker``."""
+        job = self._require(index, JobState.QUEUED, "mark_running")
+        self._queued.remove(index)
+        job.state = JobState.RUNNING
+        job.worker = worker
+        job.attempts += 1
+        self.stats.dispatches += 1
+
+    def mark_done(self, index: int) -> None:
+        """RUNNING -> DONE — or QUEUED -> DONE for a straggler result.
+
+        The straggler edge: a worker declared lost prematurely delivers its
+        result while the retried copy is still queued; the result is the same
+        bytes, so it counts, and the queued retry is withdrawn.
+        """
+        job = self._jobs[index]
+        if job.state is JobState.RUNNING:
+            pass
+        elif job.state is JobState.QUEUED:
+            self._queued.remove(index)  # withdraw the now-pointless retry
+        else:
+            raise IllegalTransition(
+                f"{job.label} cannot move {job.state.value} -> done"
+            )
+        job.state = JobState.DONE
+
+    def requeue(self, index: int, *, front: bool = True) -> None:
+        """RUNNING -> QUEUED: the job's worker was lost; burn one retry.
+
+        Raises :class:`RetryBudgetExhausted` (and parks the job in ERROR)
+        when the budget is spent — the coordinator aborts the sweep rather
+        than bouncing a job around a fleet that keeps eating it.
+        """
+        job = self._require(index, JobState.RUNNING, "requeue")
+        if job.retries_left <= 0:
+            job.state = JobState.ERROR
+            job.error = "retry budget exhausted"
+            raise RetryBudgetExhausted(
+                f"{job.label} forfeited by lost workers more than "
+                f"{job.attempts - 1} time(s); retry budget exhausted"
+            )
+        job.retries_left -= 1
+        job.state = JobState.QUEUED
+        job.worker = None
+        self.stats.requeues += 1
+        if front:
+            self._queued.insert(0, index)
+        else:
+            self._queued.append(index)
+
+    def mark_error(self, index: int, message: str) -> None:
+        """RUNNING (or QUEUED) -> ERROR: the scenario itself raised.
+
+        The QUEUED edge mirrors the straggler rule: a ghost worker's *error*
+        for a job whose retry is still queued is just as deterministic as a
+        ghost result — the retry would crash identically, so fail now.
+        """
+        job = self._jobs[index]
+        if job.state is JobState.QUEUED:
+            self._queued.remove(index)
+        elif job.state is not JobState.RUNNING:
+            raise IllegalTransition(
+                f"{job.label} cannot move {job.state.value} -> error"
+            )
+        job.state = JobState.ERROR
+        job.error = message
+
+    # -- helpers -----------------------------------------------------------------------
+    def _require(self, index: int, expected: JobState, verb: str) -> Job:
+        job = self._jobs[index]
+        if job.state is not expected:
+            raise IllegalTransition(
+                f"{verb}({job.label}) requires {expected.value}, "
+                f"job is {job.state.value}"
+            )
+        return job
+
+    def snapshot(self) -> list[dict[str, object]]:
+        """Plain-JSON view of every job, in index order (control plane)."""
+        return [self._jobs[i].snapshot() for i in sorted(self._jobs)]

@@ -22,32 +22,60 @@ Two payloads need more than JSON:
   strings, ints), which is what keeps remote sweep reports byte-identical
   to serial ones.
 
-Message types (direction, fields):
+Message types (direction, fields).  **Job frames** run a sweep; **control
+frames** (added with the persistent-fleet control plane) manage it:
 
-=============  ===========  ====================================================
-``hello``      worker → c.  ``worker``, ``capacity``, ``pid`` — announce id and
-                            how many jobs may be in flight at once.
-``welcome``    c. → worker  id accepted; dispatch may begin.
-``reject``     c. → worker  ``reason`` — duplicate id or malformed hello; the
-                            coordinator closes the connection after sending.
-``job``        c. → worker  ``job`` (index), ``scenario``, ``spec`` (base64
-                            pickle).
-``result``     worker → c.  ``job``, ``result`` (canonical dict),
-                            ``wall_time``, ``worker``.
-``error``      worker → c.  ``job``, ``scenario``, ``message`` — the scenario
-                            raised; deterministic, so never retried.
-``heartbeat``  worker → c.  liveness beacon (see ``docs/distributed.md``).
-``shutdown``   c. → worker  sweep finished (or aborted); the worker exits 0.
-=============  ===========  ====================================================
+==================  ===========  ===============================================
+``hello``           worker → c.  ``worker``, ``capacity``, ``pid``, ``daemon``
+                                 — announce id, in-flight capacity, and whether
+                                 the worker survives across sweeps.
+``challenge``       c. → peer    ``nonce`` — sent (only) by a coordinator
+                                 holding a shared secret; the peer must answer
+                                 ``auth`` before anything else happens.
+``auth``            peer → c.    ``mac`` — HMAC-SHA256 of the nonce under the
+                                 shared secret (:func:`auth_mac`).
+``welcome``         c. → peer    id accepted; with a secret set, carries
+                                 ``mac`` (:func:`coordinator_mac`) proving the
+                                 coordinator knows it too (mutual auth).
+``reject``          c. → peer    ``reason`` — duplicate id, malformed hello,
+                                 or failed authentication; the coordinator
+                                 closes the connection after sending.
+``job``             c. → worker  ``job`` (index), ``scenario``, ``spec``
+                                 (base64 pickle).
+``result``          worker → c.  ``job``, ``result`` (canonical dict),
+                                 ``wall_time``, ``worker``.
+``error``           worker → c.  ``job``, ``scenario``, ``message`` — the
+                                 scenario raised; deterministic, never retried.
+``heartbeat``       worker → c.  liveness beacon (see ``docs/distributed.md``).
+``shutdown``        c. → worker  ``final`` — sweep over.  ``final: false``
+                                 ends one sweep (one-shot workers exit 0,
+                                 daemon workers redial); ``final: true`` (sent
+                                 by drain / scale-down) retires daemons too.
+``control``         client → c.  open a control session (``repro workers``).
+``workers-list``    client → c.  request the fleet/queue snapshot.
+``fleet``           c. → client  ``workers`` (list of per-worker dicts),
+                                 ``queue`` (state counts or null), ``sweeping``.
+``drain``           client → c.  stop dispatching, wait out in-flight jobs,
+                                 then retire every worker.
+``drained``         c. → client  ``workers`` — how many were retired.
+``scale``           client → c.  ``count`` — target fleet size.
+``scaled``          c. → client  ``alive``, ``stopped``, ``needed``.
+==================  ===========  ===============================================
 
 >>> spec_payload = encode_spec_b64({"not": "a real spec, but any picklable"})
 >>> decode_spec_b64(spec_payload)
 {'not': 'a real spec, but any picklable'}
+>>> auth_mac("hunter2", "abc") == auth_mac("hunter2", "abc")
+True
+>>> auth_mac("hunter2", "abc") == auth_mac("wrong", "abc")
+False
 """
 
 from __future__ import annotations
 
 import base64
+import hashlib
+import hmac
 import json
 import pickle
 import socket
@@ -105,6 +133,100 @@ def _recv_exact(sock: socket.socket, count: int, *, eof_ok: bool) -> bytes | Non
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+# -- transports ---------------------------------------------------------------------------
+
+
+class Transport:
+    """How frames reach the peer: the seam the chaos harness injects into.
+
+    Every send/recv in the fabric goes through a transport so tests can wrap
+    the wire layer — dropping, delaying, duplicating frames, or killing the
+    connection at scripted points — without touching protocol code (see
+    ``tests/exec/chaos.py``).  The default transport is a straight
+    passthrough to :func:`send_message` / :func:`recv_message`.
+    """
+
+    def send(self, sock: socket.socket, message: dict) -> None:
+        send_message(sock, message)
+
+    def recv(self, sock: socket.socket) -> dict | None:
+        return recv_message(sock)
+
+
+#: The shared passthrough transport (stateless, so one instance serves all).
+DEFAULT_TRANSPORT = Transport()
+
+
+# -- authentication -----------------------------------------------------------------------
+
+
+def auth_mac(secret: str, nonce: str) -> str:
+    """The ``auth`` frame's proof: HMAC-SHA256 of the challenge nonce.
+
+    >>> len(auth_mac("s", "n"))
+    64
+    """
+    return hmac.new(secret.encode("utf-8"), nonce.encode("utf-8"), hashlib.sha256).hexdigest()
+
+
+def coordinator_mac(secret: str, nonce: str) -> str:
+    """The coordinator's counter-proof carried in ``welcome``.
+
+    Domain-separated from :func:`auth_mac` so a coordinator cannot simply
+    echo the peer's own MAC back at it.
+
+    >>> coordinator_mac("s", "n") != auth_mac("s", "n")
+    True
+    """
+    return auth_mac(secret, nonce + ":coordinator")
+
+
+def macs_equal(expected: str, presented: object) -> bool:
+    """Constant-time MAC comparison, tolerant of a missing/typed-wrong field."""
+    if not isinstance(presented, str):
+        return False
+    return hmac.compare_digest(expected, presented)
+
+
+class HandshakeRejected(ConnectionError):
+    """The coordinator refused this client (bad secret, duplicate id, ...)."""
+
+
+def client_handshake(
+    sock: socket.socket, transport: "Transport", secret: str | None
+) -> dict:
+    """The client half of the hello/challenge/auth/welcome exchange.
+
+    Called right after the opening frame (a worker's ``hello`` or a control
+    session's ``control``) went out.  Answers the coordinator's challenge when
+    one arrives, verifies the mutual-auth MAC on the ``welcome``, and returns
+    the welcome frame.  Raises :class:`HandshakeRejected` when the coordinator
+    refuses us — or cannot itself prove knowledge of the shared secret, so a
+    client configured with ``--secret`` never talks to an unauthenticated
+    coordinator.
+    """
+    answer = transport.recv(sock)
+    nonce = ""
+    if answer is not None and answer.get("type") == "challenge":
+        if secret is None:
+            raise HandshakeRejected(
+                "coordinator requires a shared secret; pass --secret"
+            )
+        nonce = str(answer.get("nonce", ""))
+        transport.send(sock, {"type": "auth", "mac": auth_mac(secret, nonce)})
+        answer = transport.recv(sock)
+    if answer is None or answer.get("type") != "welcome":
+        reason = (answer or {}).get("reason", "connection closed during handshake")
+        raise HandshakeRejected(str(reason))
+    if secret is not None and not macs_equal(
+        coordinator_mac(secret, nonce), answer.get("mac")
+    ):
+        raise HandshakeRejected(
+            "coordinator could not prove knowledge of the shared secret"
+        )
+    return answer
 
 
 # -- payload codecs -----------------------------------------------------------------------

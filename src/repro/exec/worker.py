@@ -13,6 +13,21 @@ Run ``--capacity N`` workers to let the coordinator pipeline N jobs onto this
 host (the worker still executes them one at a time; queued jobs wait in the
 socket, so a worker loss forfeits at most ``capacity`` jobs, which the
 coordinator re-runs elsewhere).
+
+Two lifetimes:
+
+* **one-shot** (default): one coordinator session; any ``shutdown`` — or the
+  coordinator vanishing — ends the worker.
+* **daemon** (``--daemon``): the worker survives across sweeps.  A non-final
+  ``shutdown`` or a dropped connection sends it back to the dial loop to
+  serve the next coordinator on the same address; only a *final* shutdown
+  (sent by ``repro workers drain`` / scale-down) — or a rejection, which
+  redialling cannot fix — retires it.
+
+When the coordinator holds a shared secret, the hello is answered with a
+``challenge`` the worker must MAC before it is welcomed; the welcome carries
+the coordinator's counter-proof, so a worker given ``--secret`` refuses an
+unauthenticated coordinator just as firmly (see :func:`repro.exec.wire.client_handshake`).
 """
 
 from __future__ import annotations
@@ -25,23 +40,42 @@ from typing import Callable
 
 from repro.exec.serial import run_one
 from repro.exec.wire import (
+    DEFAULT_TRANSPORT,
+    HandshakeRejected,
+    Transport,
     WireError,
+    client_handshake,
     decode_spec_b64,
-    recv_message,
     result_to_wire,
-    send_message,
 )
 
 #: Seconds between worker heartbeats (coordinator default tolerates 10 s).
+#: Constructor/CLI parameter — failure tests run it in milliseconds.
 DEFAULT_HEARTBEAT_INTERVAL = 1.0
 
 #: How long a starting worker keeps redialling a coordinator that is not
 #: listening yet (``make smoke`` starts workers before the sweep process).
+#: A daemon gets a fresh window per reconnect attempt, so this also bounds
+#: how long a daemon outlives its last coordinator.
 DEFAULT_RETRY_SECONDS = 10.0
+
+#: Pause before a daemon redials after losing its coordinator mid-session.
+DEFAULT_RECONNECT_DELAY = 0.2
 
 
 class WorkerError(RuntimeError):
     """The worker could not serve: connect failure, rejection, lost coordinator."""
+
+
+class WorkerRejected(WorkerError):
+    """The coordinator refused us (bad secret, duplicate id, malformed hello).
+
+    Fatal even in daemon mode — redialling would just be rejected again.
+    """
+
+
+class _ConnectionLost(WorkerError):
+    """Mid-session link loss: fatal one-shot, a redial trigger for daemons."""
 
 
 def parse_hostport(address: str) -> tuple[str, int]:
@@ -72,34 +106,99 @@ def run_worker(
     heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
     runner: Callable | None = None,
     log: Callable[[str], None] | None = None,
+    secret: str | None = None,
+    daemon: bool = False,
+    reconnect_delay: float = DEFAULT_RECONNECT_DELAY,
+    transport: Transport | None = None,
 ) -> int:
-    """Serve jobs from the coordinator at ``connect`` until it shuts us down.
+    """Serve jobs from the coordinator at ``connect`` until shut down.
 
-    Returns the number of jobs executed.  Raises :class:`WorkerError` when the
-    coordinator cannot be reached within ``retry_seconds``, rejects the hello
-    (duplicate worker id), or vanishes without sending ``shutdown``.
+    Returns the number of jobs executed (across every session when
+    ``daemon`` is true).  Raises :class:`WorkerError` when the coordinator
+    cannot be reached within ``retry_seconds``, rejects the hello (duplicate
+    worker id, failed authentication), or — for a one-shot worker — vanishes
+    without sending ``shutdown``.  A daemon treats lost connections and
+    non-final shutdowns as cues to redial; each redial gets a fresh
+    ``retry_seconds`` window, so a daemon whose coordinator never returns
+    eventually raises too.
 
     ``runner`` overrides the job execution path (tests inject quick fakes);
     the default is the shared :func:`~repro.exec.serial.run_one`.
+    ``transport`` overrides the wire layer (the chaos harness' seam).
     """
     if capacity < 1:
         raise ValueError("capacity must be >= 1")
     worker_id = worker_id or default_worker_id()
     say = log or (lambda message: None)
+    tx = transport or DEFAULT_TRANSPORT
+    total_jobs = 0
+    while True:
+        try:
+            jobs_run, final = _serve_session(
+                connect,
+                worker_id=worker_id,
+                capacity=capacity,
+                retry_seconds=retry_seconds,
+                heartbeat_interval=heartbeat_interval,
+                runner=runner,
+                say=say,
+                secret=secret,
+                daemon=daemon,
+                transport=tx,
+            )
+        except _ConnectionLost as error:
+            if not daemon:
+                raise WorkerError(str(error)) from error
+            say(f"worker {worker_id}: {error}; redialling")
+            time.sleep(reconnect_delay)
+            continue
+        total_jobs += jobs_run
+        if final or not daemon:
+            return total_jobs
+        say(f"worker {worker_id}: sweep over; redialling {connect}")
+        time.sleep(reconnect_delay)
+
+
+def _serve_session(
+    connect: str,
+    *,
+    worker_id: str,
+    capacity: int,
+    retry_seconds: float,
+    heartbeat_interval: float,
+    runner: Callable | None,
+    say: Callable[[str], None],
+    secret: str | None,
+    daemon: bool,
+    transport: Transport,
+) -> tuple[int, bool]:
+    """One coordinator session: dial, handshake, serve jobs until shutdown.
+
+    Returns ``(jobs_run, final)`` where ``final`` is the shutdown frame's
+    retirement flag (always effectively final for one-shot workers).
+    """
     sock = _dial(connect, retry_seconds)
     jobs_run = 0
     send_lock = threading.Lock()
     stop_beating = threading.Event()
     try:
         with send_lock:
-            send_message(
+            transport.send(
                 sock,
-                {"type": "hello", "worker": worker_id, "capacity": capacity, "pid": os.getpid()},
+                {
+                    "type": "hello",
+                    "worker": worker_id,
+                    "capacity": capacity,
+                    "pid": os.getpid(),
+                    "daemon": daemon,
+                },
             )
-        answer = recv_message(sock)
-        if answer is None or answer.get("type") != "welcome":
-            reason = (answer or {}).get("reason", "connection closed during handshake")
-            raise WorkerError(f"coordinator rejected worker {worker_id!r}: {reason}")
+        try:
+            client_handshake(sock, transport, secret)
+        except HandshakeRejected as error:
+            raise WorkerRejected(
+                f"coordinator rejected worker {worker_id!r}: {error}"
+            ) from error
         # The dial/handshake timeout must not apply to job waits: an idle
         # worker legitimately blocks on recv for as long as the sweep runs.
         sock.settimeout(None)
@@ -107,36 +206,41 @@ def run_worker(
 
         beater = threading.Thread(
             target=_heartbeat_loop,
-            args=(sock, send_lock, stop_beating, heartbeat_interval),
+            args=(sock, send_lock, stop_beating, heartbeat_interval, transport),
             name=f"heartbeat-{worker_id}",
             daemon=True,
         )
         beater.start()
 
         while True:
-            message = recv_message(sock)
+            message = transport.recv(sock)
             if message is None:
-                raise WorkerError(
+                raise _ConnectionLost(
                     f"worker {worker_id!r}: coordinator vanished without shutdown"
                 )
             kind = message["type"]
             if kind == "shutdown":
+                final = bool(message.get("final", False))
                 say(f"worker {worker_id}: shutdown after {jobs_run} job(s)")
-                return jobs_run
+                return jobs_run, final
             if kind != "job":
                 continue  # future protocol additions must not kill old workers
             job = int(message["job"])
+            # Results echo the sweep epoch so a straggler from an aborted
+            # sweep can never complete a job of the next one.
+            sweep = message.get("sweep")
             spec = decode_spec_b64(message["spec"])
             say(f"worker {worker_id}: job {job} ({message.get('scenario', '?')})")
             try:
                 result = (runner or run_one)(spec, worker=worker_id)
             except Exception as error:
                 with send_lock:
-                    send_message(
+                    transport.send(
                         sock,
                         {
                             "type": "error",
                             "job": job,
+                            "sweep": sweep,
                             "scenario": getattr(spec, "name", "?"),
                             "message": str(error),
                         },
@@ -144,9 +248,14 @@ def run_worker(
                 continue
             jobs_run += 1
             with send_lock:
-                send_message(sock, {"type": "result", "job": job, **result_to_wire(result)})
+                transport.send(
+                    sock,
+                    {"job": job, "sweep": sweep, **result_to_wire(result)},
+                )
     except (OSError, WireError) as error:
-        raise WorkerError(f"worker {worker_id!r}: connection failed: {error}") from error
+        raise _ConnectionLost(
+            f"worker {worker_id!r}: connection failed: {error}"
+        ) from error
     finally:
         stop_beating.set()
         sock.close()
@@ -177,10 +286,11 @@ def _heartbeat_loop(
     send_lock: threading.Lock,
     stop: threading.Event,
     interval: float,
+    transport: Transport,
 ) -> None:
     while not stop.wait(interval):
         try:
             with send_lock:
-                send_message(sock, {"type": "heartbeat"})
+                transport.send(sock, {"type": "heartbeat"})
         except OSError:
             return  # the main loop surfaces the broken connection

@@ -411,6 +411,45 @@ class ResultStore:
             for scenario, mechanism, engine, auctions, seconds in rows
         }
 
+    def worker_speeds(self) -> dict[str, float]:
+        """Mean relative speed per worker id (1.0 = fleet average, lower = faster).
+
+        Host-aware scheduling input for the remote backend: for every job key
+        that at least two distinct workers have timed, each worker's mean wall
+        time is divided by the key's fleet-wide mean, and those ratios are
+        averaged per worker.  Comparing only *within* a key keeps the factor a
+        pure host-speed signal — a worker that happened to draw the heavy
+        scenarios is not "slow", it just ran bigger jobs.  Keys timed by a
+        single worker say nothing about relative speed and are skipped, so a
+        store with no multi-worker history returns ``{}`` (every worker then
+        schedules as average).
+        """
+        rows = self._conn.execute(
+            """
+            SELECT worker, scenario, mechanism, engine, auctions, AVG(wall_time)
+            FROM runs
+            WHERE wall_time IS NOT NULL AND worker IS NOT NULL
+            GROUP BY worker, scenario, mechanism, engine, auctions
+            """
+        ).fetchall()
+        by_key: dict[tuple, list[tuple[str, float]]] = {}
+        for worker, scenario, mechanism, engine, auctions, seconds in rows:
+            key = (scenario, mechanism, engine, int(auctions))
+            by_key.setdefault(key, []).append((str(worker), float(seconds)))
+        ratios: dict[str, list[float]] = {}
+        for pairs in by_key.values():
+            if len(pairs) < 2:
+                continue
+            key_mean = sum(seconds for _, seconds in pairs) / len(pairs)
+            if key_mean <= 0:
+                continue
+            for worker, seconds in pairs:
+                ratios.setdefault(worker, []).append(seconds / key_mean)
+        return {
+            worker: sum(values) / len(values)
+            for worker, values in sorted(ratios.items())
+        }
+
     def scenarios(self) -> list[str]:
         """Distinct scenario names present in the store, sorted."""
         rows = self._conn.execute("SELECT DISTINCT scenario FROM runs ORDER BY scenario")

@@ -458,9 +458,15 @@ class ParallelRunner:
 
         # Heaviest jobs first: dispatch order decides the backend's makespan,
         # the ``results`` slot index keeps the report in submission order.
-        self._resolve_backend().execute(
-            specs, order=longest_job_first(specs, measured), emit=emit
-        )
+        backend = self._resolve_backend()
+        if store is not None:
+            set_speeds = getattr(backend, "set_worker_speeds", None)
+            if set_speeds is not None:
+                # Host-aware dispatch: backends that track per-worker speed
+                # (remote) get the store's measured factors; scheduling stays
+                # a pure performance hint, invisible in the report bytes.
+                set_speeds(store.worker_speeds())
+        backend.execute(specs, order=longest_job_first(specs, measured), emit=emit)
         return SweepReport(results=tuple(r for r in results if r is not None))
 
     def run_replicates(

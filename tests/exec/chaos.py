@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the remote execution fabric.
+
+The fabric routes every frame through a :class:`repro.exec.wire.Transport`,
+and that seam is where this harness lives: :class:`ChaosTransport` wraps the
+real wire layer and perturbs it at **scripted points** — drop a frame, delay
+it, duplicate it, or kill the connection outright — so failure tests replay
+the exact same misbehaviour every run, no sleeps-and-hope, no flakes.
+
+A script is a list of :class:`ChaosEvent` rules.  Each rule names a
+direction (``send``/``recv``), a frame type (``None`` matches any frame),
+the 1-based occurrence of that frame this transport will see, and an action:
+
+``drop``
+    The frame silently never crosses the wire (a sent frame is discarded, a
+    received frame is swallowed and the next one returned).
+``delay``
+    The frame arrives late by ``delay`` seconds.
+``dup``
+    The frame is sent twice back to back (send direction only).
+``kill``
+    The connection dies *at this frame*: the socket is closed (the peer sees
+    EOF, exactly like a crashed process) and :class:`ChaosKill` is raised
+    locally.  ``ChaosKill`` subclasses :class:`OSError`, so every existing
+    link-failure path — worker redial loops, coordinator loss handling —
+    treats an injected kill identically to a real one.
+
+Determinism and recoverability
+------------------------------
+
+Counters are per-transport, so give each worker its own instance and the
+script replays identically regardless of thread scheduling.  For a sweep
+report to stay byte-identical under injection, every scripted failure must
+be one the fabric is *designed* to recover from:
+
+* dropped **heartbeats** (the loss timeout just must outlast the test),
+* **delays** on any frame,
+* **duplicated results** (the coordinator dedups against its job queue),
+* **kills** anywhere (a daemon worker redials; the coordinator requeues the
+  forfeited jobs).
+
+Dropping a *result* without killing the connection is the one scripted lie
+the fabric cannot see through — the worker keeps heartbeating, the
+coordinator keeps waiting — so :meth:`ChaosTransport.seeded` never generates
+it (and hand-written scripts should not either, unless the test *wants* a
+stall).  See ``docs/testing.md`` for the cookbook.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.exec.wire import Transport, recv_message, send_message
+
+
+class ChaosKill(OSError):
+    """An injected connection death; indistinguishable from a real one."""
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scripted perturbation: the Nth DIRECTION frame of TYPE gets ACTION."""
+
+    direction: str  # "send" or "recv"
+    message_type: str | None  # frame type, or None to match any frame
+    occurrence: int  # 1-based match count at which to fire
+    action: str  # "drop" | "delay" | "dup" | "kill"
+    delay: float = 0.05  # seconds, for the "delay" action
+
+    def __post_init__(self):
+        if self.direction not in ("send", "recv"):
+            raise ValueError(f"direction must be send/recv, not {self.direction!r}")
+        if self.action not in ("drop", "delay", "dup", "kill"):
+            raise ValueError(f"unknown chaos action {self.action!r}")
+        if self.occurrence < 1:
+            raise ValueError("occurrence is 1-based")
+
+
+@dataclass
+class ChaosLogEntry:
+    """What actually fired, for post-mortem assertions in tests."""
+
+    direction: str
+    message_type: str
+    action: str
+
+
+class ChaosTransport(Transport):
+    """A wire transport that injects scripted faults (see the module docs).
+
+    One instance per connection/worker: occurrence counters are internal, so
+    sharing an instance across sockets would interleave their counts
+    nondeterministically.
+    """
+
+    def __init__(self, schedule: list[ChaosEvent] = (), *, name: str = "chaos"):
+        self.name = name
+        self.schedule = list(schedule)
+        self.log: list[ChaosLogEntry] = []
+        self._counts: dict[tuple[str, str | None], int] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        kills: int = 1,
+        heartbeat_drops: int = 2,
+        delays: int = 2,
+        result_dups: int = 1,
+        max_delay: float = 0.05,
+        name: str = "chaos",
+    ) -> "ChaosTransport":
+        """A deterministic random script built only from recoverable faults.
+
+        The same seed always yields the same schedule.  Kills land on early
+        job receipts (a worker dying mid-job), drops eat heartbeat sends,
+        delays smear over any frame, and duplicates re-send results — every
+        one a failure mode the fabric recovers from, so a sweep under this
+        script must still produce byte-identical reports.
+        """
+        rng = random.Random(seed)
+        schedule = [
+            ChaosEvent("recv", "job", rng.randint(1, 3), "kill")
+            for _ in range(kills)
+        ]
+        schedule += [
+            ChaosEvent("send", "heartbeat", rng.randint(1, 6), "drop")
+            for _ in range(heartbeat_drops)
+        ]
+        schedule += [
+            ChaosEvent(
+                rng.choice(("send", "recv")),
+                None,
+                rng.randint(1, 8),
+                "delay",
+                delay=rng.uniform(0.005, max_delay),
+            )
+            for _ in range(delays)
+        ]
+        schedule += [
+            ChaosEvent("send", "result", rng.randint(1, 2), "dup")
+            for _ in range(result_dups)
+        ]
+        return cls(schedule, name=name)
+
+    # -- the Transport contract --------------------------------------------------------
+    def send(self, sock, message: dict) -> None:
+        for event in self._fired("send", message["type"]):
+            if event.action == "drop":
+                return  # the frame never leaves
+            if event.action == "delay":
+                time.sleep(event.delay)
+            elif event.action == "dup":
+                send_message(sock, message)  # once here, once below
+            elif event.action == "kill":
+                sock.close()  # the peer sees EOF, like a crashed process
+                raise ChaosKill(f"{self.name}: scripted kill on send({message['type']})")
+        send_message(sock, message)
+
+    def recv(self, sock) -> dict | None:
+        message = recv_message(sock)
+        if message is None:
+            return None
+        for event in self._fired("recv", message["type"]):
+            if event.action == "drop":
+                return self.recv(sock)  # swallow this frame, serve the next
+            if event.action == "delay":
+                time.sleep(event.delay)
+            elif event.action == "kill":
+                sock.close()
+                raise ChaosKill(f"{self.name}: scripted kill on recv({message['type']})")
+        return message
+
+    # -- bookkeeping -------------------------------------------------------------------
+    def _fired(self, direction: str, message_type: str) -> list[ChaosEvent]:
+        """Advance the frame counters and return every rule that fires now."""
+        with self._lock:
+            for key in ((direction, message_type), (direction, None)):
+                self._counts[key] = self._counts.get(key, 0) + 1
+            fired = [
+                event
+                for event in self.schedule
+                if event.direction == direction
+                and event.message_type in (message_type, None)
+                and self._counts.get((direction, event.message_type), 0)
+                == event.occurrence
+            ]
+            for event in fired:
+                self.log.append(ChaosLogEntry(direction, message_type, event.action))
+            return fired
+
+    def fired_actions(self) -> list[str]:
+        """The actions that actually fired, in order (test assertions)."""
+        return [entry.action for entry in self.log]

@@ -1,0 +1,254 @@
+"""Exhaustive tests of the job-queue lifecycle state machine.
+
+Every legal edge of QUEUED/RUNNING/DONE/ERROR is walked, every illegal edge
+is proven to raise, and the retry budget's exhaustion semantics — the thing
+that turns "worker keeps dying" into a clean sweep abort — are pinned down.
+"""
+
+import pytest
+
+from repro.exec.queue import (
+    DEFAULT_RETRY_BUDGET,
+    IllegalTransition,
+    JobQueue,
+    JobState,
+    RetryBudgetExhausted,
+)
+
+
+def drive_to(queue: JobQueue, index: int, state: JobState) -> None:
+    """Walk a QUEUED job along legal edges into ``state``."""
+    if state is JobState.QUEUED:
+        return
+    queue.mark_running(index, worker="w")
+    if state is JobState.RUNNING:
+        return
+    if state is JobState.DONE:
+        queue.mark_done(index)
+    else:
+        queue.mark_error(index, "boom")
+
+
+class TestConstruction:
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            JobQueue([0, 1, 0])
+
+    def test_negative_retry_budget_rejected(self):
+        with pytest.raises(ValueError, match="retry_budget"):
+            JobQueue([0], retry_budget=-1)
+
+    def test_labels_default_to_job_index(self):
+        queue = JobQueue([3], labels={})
+        assert queue.job(3).label == "job 3"
+
+    def test_labels_name_jobs(self):
+        queue = JobQueue([0], labels={0: "smoke"})
+        assert queue.job(0).label == "smoke"
+
+    def test_default_budget_applied(self):
+        assert JobQueue([0]).job(0).retries_left == DEFAULT_RETRY_BUDGET
+
+    def test_contains_checks_indices_not_records(self):
+        queue = JobQueue([0, 5])
+        assert 5 in queue
+        assert 1 not in queue
+        assert len(queue) == 2
+
+
+class TestDispatchOrder:
+    def test_next_job_follows_priority_order(self):
+        queue = JobQueue([2, 0, 1])
+        assert queue.next_job() == 2
+        queue.mark_running(2, worker="w")
+        assert queue.next_job() == 0
+
+    def test_next_job_peeks_without_transitioning(self):
+        queue = JobQueue([0])
+        assert queue.next_job() == 0
+        assert queue.next_job() == 0  # still there: peek, not pop
+        assert queue.state(0) is JobState.QUEUED
+
+    def test_next_job_none_when_nothing_queued(self):
+        queue = JobQueue([0])
+        queue.mark_running(0, worker="w")
+        assert queue.next_job() is None
+
+    def test_requeue_front_restores_priority(self):
+        queue = JobQueue([0, 1, 2])
+        queue.mark_running(0, worker="w")
+        queue.requeue(0, front=True)
+        assert queue.next_job() == 0  # the heavy forfeited job goes first
+
+    def test_requeue_back_yields_to_others(self):
+        queue = JobQueue([0, 1])
+        queue.mark_running(0, worker="w")
+        queue.requeue(0, front=False)
+        assert queue.next_job() == 1
+
+
+class TestLegalEdges:
+    def test_queued_to_running(self):
+        queue = JobQueue([0])
+        queue.mark_running(0, worker="w7")
+        job = queue.job(0)
+        assert job.state is JobState.RUNNING
+        assert job.worker == "w7"
+        assert job.attempts == 1
+
+    def test_running_to_done(self):
+        queue = JobQueue([0])
+        queue.mark_running(0, worker="w")
+        queue.mark_done(0)
+        assert queue.state(0) is JobState.DONE
+        assert queue.finished
+
+    def test_running_to_queued_burns_one_retry(self):
+        queue = JobQueue([0], retry_budget=2)
+        queue.mark_running(0, worker="w")
+        queue.requeue(0)
+        job = queue.job(0)
+        assert job.state is JobState.QUEUED
+        assert job.retries_left == 1
+        assert job.worker is None
+
+    def test_running_to_error(self):
+        queue = JobQueue([0])
+        queue.mark_running(0, worker="w")
+        queue.mark_error(0, "division by zero")
+        job = queue.job(0)
+        assert job.state is JobState.ERROR
+        assert job.error == "division by zero"
+        assert queue.finished  # ERROR is terminal; the queue counts as done
+
+    def test_straggler_edge_queued_to_done_withdraws_retry(self):
+        """A prematurely-lost worker's result lands while the retry queues:
+        the job completes and the queued copy evaporates."""
+        queue = JobQueue([0, 1], retry_budget=1)
+        queue.mark_running(0, worker="w0")
+        queue.requeue(0, front=True)  # w0 declared lost
+        queue.mark_done(0)  # ...but its result arrives anyway
+        assert queue.state(0) is JobState.DONE
+        assert queue.next_job() == 1  # the withdrawn retry is gone
+
+    def test_ghost_error_queued_to_error(self):
+        """Same straggler rule for errors: deterministic crash, fail now."""
+        queue = JobQueue([0], retry_budget=1)
+        queue.mark_running(0, worker="w0")
+        queue.requeue(0)
+        queue.mark_error(0, "deterministic crash")
+        assert queue.state(0) is JobState.ERROR
+        assert queue.next_job() is None
+
+
+class TestIllegalEdges:
+    @pytest.mark.parametrize("state", [JobState.RUNNING, JobState.DONE, JobState.ERROR])
+    def test_mark_running_requires_queued(self, state):
+        queue = JobQueue([0])
+        drive_to(queue, 0, state)
+        with pytest.raises(IllegalTransition):
+            queue.mark_running(0, worker="w")
+
+    @pytest.mark.parametrize("state", [JobState.DONE, JobState.ERROR])
+    def test_mark_done_rejects_terminal_states(self, state):
+        queue = JobQueue([0])
+        drive_to(queue, 0, state)
+        with pytest.raises(IllegalTransition):
+            queue.mark_done(0)
+
+    @pytest.mark.parametrize("state", [JobState.QUEUED, JobState.DONE, JobState.ERROR])
+    def test_requeue_requires_running(self, state):
+        queue = JobQueue([0])
+        drive_to(queue, 0, state)
+        with pytest.raises(IllegalTransition):
+            queue.requeue(0)
+
+    @pytest.mark.parametrize("state", [JobState.DONE, JobState.ERROR])
+    def test_mark_error_rejects_terminal_states(self, state):
+        queue = JobQueue([0])
+        drive_to(queue, 0, state)
+        with pytest.raises(IllegalTransition):
+            queue.mark_error(0, "late error")
+
+    def test_terminal_states_never_move(self):
+        queue = JobQueue([0])
+        drive_to(queue, 0, JobState.DONE)
+        for illegal in (
+            lambda: queue.mark_running(0, worker="w"),
+            lambda: queue.mark_done(0),
+            lambda: queue.requeue(0),
+            lambda: queue.mark_error(0, "x"),
+        ):
+            with pytest.raises(IllegalTransition):
+                illegal()
+        assert queue.state(0) is JobState.DONE
+
+    def test_unknown_index_raises_keyerror(self):
+        queue = JobQueue([0])
+        with pytest.raises(KeyError):
+            queue.state(99)
+
+
+class TestRetryBudget:
+    def test_exhaustion_raises_and_parks_in_error(self):
+        queue = JobQueue([0], retry_budget=1, labels={0: "heavy"})
+        queue.mark_running(0, worker="w0")
+        queue.requeue(0)  # burns the only retry
+        queue.mark_running(0, worker="w1")
+        with pytest.raises(RetryBudgetExhausted, match="heavy"):
+            queue.requeue(0)
+        job = queue.job(0)
+        assert job.state is JobState.ERROR
+        assert job.error == "retry budget exhausted"
+        assert queue.finished  # the sweep aborts; nothing left to run
+
+    def test_zero_budget_fails_on_first_loss(self):
+        queue = JobQueue([0], retry_budget=0)
+        queue.mark_running(0, worker="w")
+        with pytest.raises(RetryBudgetExhausted):
+            queue.requeue(0)
+
+    def test_attempts_count_every_dispatch(self):
+        queue = JobQueue([0], retry_budget=3)
+        for _ in range(3):
+            queue.mark_running(0, worker="w")
+            queue.requeue(0)
+        queue.mark_running(0, worker="w")
+        assert queue.job(0).attempts == 4
+        assert queue.job(0).retries_left == 0
+
+
+class TestIntrospection:
+    def test_counts_track_every_state(self):
+        queue = JobQueue([0, 1, 2, 3])
+        queue.mark_running(0, worker="w")
+        queue.mark_running(1, worker="w")
+        queue.mark_done(1)
+        queue.mark_running(2, worker="w")
+        queue.mark_error(2, "x")
+        assert queue.counts() == {"queued": 1, "running": 1, "done": 1, "error": 1}
+
+    def test_done_count_counts_only_done(self):
+        queue = JobQueue([0, 1])
+        drive_to(queue, 0, JobState.ERROR)
+        drive_to(queue, 1, JobState.DONE)
+        assert queue.done_count == 1
+
+    def test_snapshot_is_plain_json(self):
+        import json
+
+        queue = JobQueue([1, 0], labels={0: "a", 1: "b"})
+        queue.mark_running(1, worker="w")
+        snapshot = queue.snapshot()
+        assert [row["index"] for row in snapshot] == [0, 1]  # index order
+        assert snapshot[1]["state"] == "running"
+        json.dumps(snapshot)  # must serialise without custom encoders
+
+    def test_stats_count_dispatches_and_requeues(self):
+        queue = JobQueue([0], retry_budget=1)
+        queue.mark_running(0, worker="w")
+        queue.requeue(0)
+        queue.mark_running(0, worker="w")
+        queue.mark_done(0)
+        assert queue.stats.dispatches == 2
+        assert queue.stats.requeues == 1

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the job-queue lifecycle.
+
+The coordinator replays an arbitrary interleaving of dispatches, worker
+deaths, stragglers, and completions against :class:`repro.exec.queue.JobQueue`.
+Rather than enumerating those interleavings by hand, hypothesis generates
+randomized worker-death schedules and a simulated dispatch loop drives the
+queue through them, asserting the invariants the coordinator's correctness
+rests on:
+
+* the sweep always terminates: every job ends DONE, or the run aborts with
+  :class:`RetryBudgetExhausted` — no livelock, no limbo states;
+* a job is dispatched at most ``retry_budget + 1`` times;
+* DONE is terminal: once a result landed, no later death can move the job;
+* a requeued job re-enters at the *front*, so the longest-job-first priority
+  survives arbitrary loss patterns;
+* state counts always sum to the job count.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.queue import (
+    JobQueue,
+    JobState,
+    RetryBudgetExhausted,
+)
+
+
+@st.composite
+def death_schedules(draw):
+    """A sweep shape plus a scripted death/straggle decision stream.
+
+    ``deaths`` decides, per dispatch event, whether the worker running it
+    dies before delivering (True) or the job completes (False).
+    ``stragglers`` decides whether a death's forfeited result later arrives
+    anyway (the premature-loss case).  Streams are drawn long enough for any
+    legal run and consumed positionally, which keeps every run deterministic
+    and shrinkable.
+    """
+    jobs = draw(st.integers(min_value=1, max_value=8))
+    budget = draw(st.integers(min_value=0, max_value=3))
+    events = jobs * (budget + 2) + 8
+    deaths = draw(st.lists(st.booleans(), min_size=events, max_size=events))
+    stragglers = draw(st.lists(st.booleans(), min_size=events, max_size=events))
+    order = draw(st.permutations(range(jobs)))
+    return jobs, budget, list(order), deaths, stragglers
+
+
+def run_sweep(jobs, budget, order, deaths, stragglers):
+    """Drive a JobQueue through a scripted death schedule like the
+    coordinator would; returns (queue, dispatch_log, aborted)."""
+    queue = JobQueue(order, retry_budget=budget)
+    log = []
+    step = 0
+    while not queue.finished:
+        index = queue.next_job()
+        assert index is not None, "unfinished queue with nothing to run"
+        queue.mark_running(index, worker=f"w{step}")
+        log.append(index)
+        died = deaths[step]
+        straggles = stragglers[step]
+        step += 1
+        if not died:
+            queue.mark_done(index)
+            continue
+        try:
+            queue.requeue(index, front=True)
+        except RetryBudgetExhausted:
+            return queue, log, True
+        if straggles:
+            # The dead worker's result limps in after the requeue.
+            queue.mark_done(index)
+    return queue, log, False
+
+
+@given(death_schedules())
+@settings(max_examples=200)
+def test_sweep_always_terminates_cleanly_or_aborts(schedule):
+    jobs, budget, order, deaths, stragglers = schedule
+    queue, log, aborted = run_sweep(jobs, budget, order, deaths, stragglers)
+    states = {job.index: job.state for job in queue}
+    if aborted:
+        # Exactly one job exhausted its budget; it is parked in ERROR.
+        assert sum(1 for s in states.values() if s is JobState.ERROR) == 1
+    else:
+        assert all(s is JobState.DONE for s in states.values())
+        assert queue.done_count == jobs
+
+
+@given(death_schedules())
+@settings(max_examples=200)
+def test_no_job_dispatched_beyond_its_budget(schedule):
+    jobs, budget, order, deaths, stragglers = schedule
+    queue, log, _ = run_sweep(jobs, budget, order, deaths, stragglers)
+    for job in queue:
+        dispatches = sum(1 for index in log if index == job.index)
+        assert dispatches <= budget + 1
+        assert dispatches == job.attempts
+
+
+@given(death_schedules())
+@settings(max_examples=200)
+def test_done_jobs_never_move_and_counts_stay_consistent(schedule):
+    jobs, budget, order, deaths, stragglers = schedule
+    queue = JobQueue(order, retry_budget=budget)
+    done_at = {}
+    step = 0
+    while not queue.finished:
+        index = queue.next_job()
+        queue.mark_running(index, worker="w")
+        died = deaths[step]
+        step += 1
+        if died:
+            try:
+                queue.requeue(index, front=True)
+            except RetryBudgetExhausted:
+                break
+        else:
+            queue.mark_done(index)
+            done_at[index] = step
+        counts = queue.counts()
+        assert sum(counts.values()) == jobs
+        for done_index in done_at:
+            assert queue.state(done_index) is JobState.DONE
+
+
+@given(death_schedules())
+@settings(max_examples=200)
+def test_requeue_preserves_longest_job_first_priority(schedule):
+    """After any death, the forfeited job runs before anything that was
+    behind it in the priority order (front requeue)."""
+    jobs, budget, order, deaths, stragglers = schedule
+    queue = JobQueue(order, retry_budget=budget)
+    priority = {index: rank for rank, index in enumerate(order)}
+    step = 0
+    while not queue.finished:
+        index = queue.next_job()
+        queue.mark_running(index, worker="w")
+        died = deaths[step]
+        step += 1
+        if not died:
+            queue.mark_done(index)
+            continue
+        try:
+            queue.requeue(index, front=True)
+        except RetryBudgetExhausted:
+            break
+        assert queue.next_job() == index, (
+            f"forfeited job {index} (priority {priority[index]}) "
+            f"must restart before anything lighter"
+        )
