@@ -12,7 +12,7 @@ test:
 
 ## run every docstring example in the documented packages
 doctest:
-	$(PYTHON) -m pytest --doctest-modules src/repro/core src/repro/bidlang src/repro/cluster src/repro/simulation src/repro/results src/repro/mechanisms src/repro/exec src/repro/cli.py -q
+	$(PYTHON) -m pytest --doctest-modules src/repro/core src/repro/bidlang src/repro/cluster src/repro/simulation src/repro/results src/repro/mechanisms src/repro/exec src/repro/agents src/repro/cli.py -q
 
 ## paper-scale benchmarks (regenerates the paper's tables/figures)
 bench:
@@ -30,9 +30,12 @@ bench-smoke:
 ## the same sweep through the distributed backend (2 localhost workers, one
 ## deliberately streaming jobs to the coordinator over TCP) and through the
 ## process pool, and diffs the two canonical reports byte for byte — the
-## execution-fabric determinism contract, checked on every CI run.
+## execution-fabric determinism contract, checked on every CI run.  A
+## 2-generation smoke tournament exercises the evolving-bidder pipeline
+## (traits -> roster -> generations) end to end through the CLI.
 smoke:
 	$(PYTHON) -m repro run paper-reference --workers 1
+	$(PYTHON) -m repro tournament smoke-tournament --workers 1 --no-store
 	$(PYTHON) -m repro run paper-reference --workers 1 --mechanism fixed-price
 	$(PYTHON) -m repro results list
 	$(PYTHON) -m repro results show paper-reference --mechanism market

@@ -1,0 +1,88 @@
+"""Benchmark E-TOUR: generational tournament throughput.
+
+A tournament generation is the unit of evolutionary progress: build the
+roster's agents, run every replicate economy, score the genomes, and breed
+the next roster.  This benchmark measures **generations per second** on the
+smoke tournament (serial, so the number prices the engine itself rather than
+a process pool) and, at full scale, appends the measurement to
+``BENCH_tournament.json`` at the repository root so the trajectory is tracked
+across PRs.  Set ``REPRO_BENCH_SCALE=test`` to run a single-auction variant
+that skips the JSON recording.
+
+The determinism gate rides along at every scale: the serial run's canonical
+report bytes must match a 2-worker process-pool run of the same tournament.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from conftest import print_section
+
+from repro.agents.tournament import TournamentEngine
+from repro.simulation.catalog import get_tournament
+from repro.simulation.runner import ParallelRunner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_tournament.json"
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper").lower() != "test"
+
+
+def tournament_config():
+    cfg = get_tournament("smoke-tournament")
+    if not FULL_SCALE:
+        cfg = replace(cfg, auctions=1)
+    return cfg
+
+
+def test_tournament_generations_per_second(benchmark):
+    cfg = tournament_config()
+    rows: dict[str, float | str] = {}
+
+    def run_serial():
+        start = time.perf_counter()
+        report = TournamentEngine(cfg, runner=ParallelRunner(workers=1)).run()
+        rows["seconds"] = time.perf_counter() - start
+        rows["report"] = report.to_json()
+        return report
+
+    benchmark.pedantic(run_serial, rounds=1, iterations=1)
+
+    generations_per_second = cfg.generations / float(rows["seconds"])
+    process_report = TournamentEngine(
+        cfg, runner=ParallelRunner(workers=2, backend="process")
+    ).run()
+    assert process_report.to_json() == rows["report"], (
+        "tournament report bytes differ between serial and process execution"
+    )
+
+    print_section("Tournament throughput (smoke tournament, serial)")
+    print(
+        f"{cfg.generations} generations x {cfg.replicates} replicates in "
+        f"{rows['seconds']:.2f}s  ->  {generations_per_second:.2f} generations/s"
+    )
+
+    if FULL_SCALE:
+        history = []
+        if BENCH_JSON.exists():
+            history = json.loads(BENCH_JSON.read_text())
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+        if history and history[-1]["recorded_at"][:10] == stamp[:10]:
+            history.pop()
+        history.append(
+            {
+                "recorded_at": stamp,
+                "tournament": cfg.name,
+                "generations": cfg.generations,
+                "replicates": cfg.replicates,
+                "serial_seconds": rows["seconds"],
+                "generations_per_second": generations_per_second,
+                "reports_identical": True,
+            }
+        )
+        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")

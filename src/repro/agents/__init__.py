@@ -27,6 +27,30 @@ from repro.agents.strategies import (
 )
 from repro.agents.learning import AdaptiveMarginModel
 from repro.agents.population import PopulationSpec, build_population
+from repro.agents.traits import (
+    TRAIT_BOUNDS,
+    TRAIT_NAMES,
+    AgentGenome,
+    Traits,
+    clone_genomes,
+    mutate_from_base,
+    mutate_traits,
+    random_traits,
+    register_strategy_kind,
+    select_elites,
+    strategy_from_traits,
+    strategy_kinds,
+)
+from repro.agents.tournament import (
+    GenerationReport,
+    TournamentConfig,
+    TournamentEngine,
+    TournamentReport,
+    genome_score,
+    initial_roster,
+    next_generation,
+    run_tournament,
+)
 
 __all__ = [
     "RelocationCostModel",
@@ -44,4 +68,24 @@ __all__ = [
     "AdaptiveMarginModel",
     "PopulationSpec",
     "build_population",
+    "TRAIT_BOUNDS",
+    "TRAIT_NAMES",
+    "AgentGenome",
+    "Traits",
+    "clone_genomes",
+    "mutate_from_base",
+    "mutate_traits",
+    "random_traits",
+    "register_strategy_kind",
+    "select_elites",
+    "strategy_from_traits",
+    "strategy_kinds",
+    "GenerationReport",
+    "TournamentConfig",
+    "TournamentEngine",
+    "TournamentReport",
+    "genome_score",
+    "initial_roster",
+    "next_generation",
+    "run_tournament",
 ]

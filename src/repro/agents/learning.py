@@ -11,6 +11,16 @@ margin above its cost estimate and multiplicatively shrinks it each time it
 wins (it could have bid less) while expanding it when it loses (it bid too
 little).  Across a population this produces Table I's decreasing median
 premium.
+
+>>> model = AdaptiveMarginModel(initial_margin=0.6, win_decay=0.5, loss_growth=2.0)
+>>> model.limit_for(100.0)
+160.0
+>>> model.record_win()
+>>> model.margin
+0.3
+>>> model.record_loss()
+>>> model.margin
+0.6
 """
 
 from __future__ import annotations

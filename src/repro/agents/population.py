@@ -28,6 +28,7 @@ from repro.agents.strategies import (
     RelocatorStrategy,
     SellerStrategy,
 )
+from repro.agents.traits import ENDOWED_KINDS, AgentGenome, strategy_from_traits
 from repro.cluster.fleet_gen import SyntheticFleet
 from repro.market.services import ServiceCatalog, ServiceRequest, default_catalog
 
@@ -41,6 +42,22 @@ class PopulationSpec:
     teams anchor on fixed prices early / track the market, a smaller set of
     relocators and sellers, a few premium payers, low-ballers, and
     arbitrageurs).
+
+    ``roster`` switches the population from sampled to scripted: instead of
+    drawing strategy kinds and parameters from ``strategy_mix``, each agent
+    is built from an explicit :class:`~repro.agents.traits.AgentGenome`
+    (name, kind, traits).  This is how tournament generations ride a
+    :class:`~repro.simulation.catalog.ScenarioSpec` unchanged through every
+    execution backend.  Demand profiles and home clusters are still drawn
+    from the scenario rng, so two genomes in the same slot face identical
+    market conditions.
+
+    >>> spec = PopulationSpec(team_count=2, roster=(
+    ...     AgentGenome(name="a", kind="lowball"),
+    ...     AgentGenome(name="b", kind="seller"),
+    ... ))
+    >>> len(spec.roster)
+    2
     """
 
     team_count: int = 100
@@ -59,6 +76,7 @@ class PopulationSpec:
             "arbitrageur": 0.03,
         }
     )
+    roster: tuple[AgentGenome, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.team_count < 1:
@@ -71,6 +89,14 @@ class PopulationSpec:
             raise ValueError("strategy weights must be non-negative")
         if sum(self.strategy_mix.values()) <= 0:
             raise ValueError("strategy weights must sum to a positive value")
+        if self.roster is not None:
+            if len(self.roster) != self.team_count:
+                raise ValueError(
+                    f"roster has {len(self.roster)} genomes but team_count is {self.team_count}"
+                )
+            names = [genome.name for genome in self.roster]
+            if len(set(names)) != len(names):
+                raise ValueError("roster genome names must be unique")
 
 
 def _make_strategy(kind: str, rng: np.random.Generator) -> BiddingStrategy:
@@ -129,18 +155,11 @@ def build_population(
     weights = spec.congested_home_bias * cpu_utils + (1 - spec.congested_home_bias)
     weights = weights / weights.sum()
 
-    kinds = list(spec.strategy_mix)
-    kind_weights = np.array([spec.strategy_mix[k] for k in kinds], dtype=float)
-    kind_weights = kind_weights / kind_weights.sum()
-
     services = catalog.names()
-    agents: list[TeamAgent] = []
-    for i in range(spec.team_count):
-        home = str(rng.choice(clusters, p=weights))
-        home_cpu_capacity = fleet.pool_index.pool(f"{home}/cpu").capacity
-        kind = str(rng.choice(kinds, p=kind_weights))
 
+    def draw_demand(home: str) -> DemandProfile:
         # Demand: one or two service requests sized as a fraction of the home cluster.
+        home_cpu_capacity = fleet.pool_index.pool(f"{home}/cpu").capacity
         request_count = int(rng.integers(1, 3))
         requests = []
         for _ in range(request_count):
@@ -149,13 +168,41 @@ def build_population(
             target_cpu = home_cpu_capacity * spec.demand_scale * float(rng.lognormal(0.0, 0.6))
             quantity = max(target_cpu / max(coverage_cpu, 1e-6), 1.0)
             requests.append(ServiceRequest(service=service, cluster=home, quantity=quantity))
-
-        demand = DemandProfile(
+        return DemandProfile(
             home_cluster=home,
             requests=requests,
             growth_rate=float(rng.uniform(0.0, 0.10)),
             mobile=bool(rng.random() < 0.75),
         )
+
+    agents: list[TeamAgent] = []
+    if spec.roster is not None:
+        # Scripted path: kinds and strategy parameters come from the genomes;
+        # only market conditions (home, demand) are drawn from the rng.
+        for genome in spec.roster:
+            home = str(rng.choice(clusters, p=weights))
+            demand = draw_demand(home)
+            strategy_seed = int(rng.integers(0, 2**31 - 1))
+            agent = TeamAgent(
+                name=genome.name,
+                demand=demand,
+                strategy=strategy_from_traits(genome.kind, genome.traits, seed=strategy_seed),
+                catalog=catalog,
+                budget=spec.budget_per_team,
+            )
+            if genome.kind in ENDOWED_KINDS:
+                agent.holdings = demand.covering_bundle(catalog, fleet.pool_index, home)
+            agents.append(agent)
+        return agents
+
+    kinds = list(spec.strategy_mix)
+    kind_weights = np.array([spec.strategy_mix[k] for k in kinds], dtype=float)
+    kind_weights = kind_weights / kind_weights.sum()
+
+    for i in range(spec.team_count):
+        home = str(rng.choice(clusters, p=weights))
+        kind = str(rng.choice(kinds, p=kind_weights))
+        demand = draw_demand(home)
         agent = TeamAgent(
             name=f"team-{i:03d}",
             demand=demand,

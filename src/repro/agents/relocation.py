@@ -8,6 +8,12 @@ distance-dependent component (data transfer, latency re-qualification) plus a
 per-unit component proportional to the footprint being moved.  Agents compare
 this cost against the price discount available elsewhere when deciding whether
 to relocate or to pay the premium to stay.
+
+>>> model = RelocationCostModel(base_cost=50.0, cost_per_unit=1.0)
+>>> model.move_cost(None, "a", "a", workload_size=100)
+0.0
+>>> model.move_cost(None, "a", "b", workload_size=100)
+150.0
 """
 
 from __future__ import annotations

@@ -62,6 +62,81 @@ def premium_table(settlements: Sequence[Settlement], *, first_auction: int = 1) 
     ]
 
 
+@dataclass(frozen=True)
+class GenerationPremium:
+    """One tournament generation's premium level across replicate runs.
+
+    ``mean`` averages the per-replicate run means; ``ci95`` is the 95%
+    t-interval over the replicates (``None`` with a single replicate — a CI
+    needs variance to estimate).  Produced by :func:`generation_premiums`
+    from the tournament engine's per-generation replicate sweeps.
+    """
+
+    generation: int
+    mean: float
+    ci95: tuple[float, float] | None
+
+    def as_row(self) -> dict[str, object]:
+        """The row as a plain mapping (for tables and serialization)."""
+        return {
+            "generation": self.generation,
+            "mean": self.mean,
+            "ci95": list(self.ci95) if self.ci95 is not None else None,
+        }
+
+
+def generation_premiums(
+    values_per_generation: Sequence[Sequence[float]],
+) -> list[GenerationPremium]:
+    """Premium trajectory across tournament generations.
+
+    ``values_per_generation[g]`` holds generation ``g``'s per-replicate mean
+    premiums (one value per replicate seed).  Each generation is summarised
+    with the same mean / 95%-t-interval convention as
+    :mod:`repro.results.stats`.
+
+    >>> rows = generation_premiums([[0.8, 0.9, 1.0], [0.2, 0.25, 0.3]])
+    >>> [r.generation for r in rows]
+    [0, 1]
+    >>> rows[0].mean
+    0.9
+    >>> rows[1].ci95 is not None
+    True
+    """
+    from repro.results.stats import replicate_stats  # lazy: avoids an import cycle
+
+    rows = []
+    for generation, values in enumerate(values_per_generation):
+        stats = replicate_stats(f"generation-{generation}-premium", values)
+        rows.append(
+            GenerationPremium(generation=generation, mean=stats.mean, ci95=stats.ci95)
+        )
+    return rows
+
+
+def premiums_fell(rows: Sequence[GenerationPremium]) -> bool:
+    """Did premiums fall CI-separated from the first to the last generation?
+
+    True when the last generation's *upper* 95% bound sits strictly below the
+    first generation's *lower* bound — the intervals are disjoint with the
+    first above, the paper's live finding as a statistical claim.  False when
+    either CI is undefined (single replicate): no variance estimate, no claim.
+
+    >>> premiums_fell(generation_premiums([[0.8, 0.9, 1.0], [0.2, 0.25, 0.3]]))
+    True
+    >>> premiums_fell(generation_premiums([[0.8, 0.9], [0.75, 0.95]]))
+    False
+    >>> premiums_fell(generation_premiums([[0.9], [0.1]]))
+    False
+    """
+    if len(rows) < 2:
+        raise ValueError("premiums_fell needs at least two generations")
+    first, last = rows[0], rows[-1]
+    if first.ci95 is None or last.ci95 is None:
+        return False
+    return last.ci95[1] < first.ci95[0]
+
+
 def premium_trend(rows: Sequence[PremiumStats]) -> dict[str, float]:
     """Summary of how premiums evolve across auctions.
 

@@ -1,12 +1,21 @@
 """``python -m repro`` — run catalog scenarios from the command line.
 
-Seven subcommands:
+Eight subcommands:
 
 ``list``
     Show every scenario in the catalog (name, scale, tags, description).
 ``run``
     Run one scenario end to end (optionally several replicate seeds in
     parallel) and print its trajectory report.
+``tournament``
+    Evolve a trait-parameterised bidder population across generations of a
+    catalog scenario (see ``docs/tournaments.md``): each generation's
+    replicate runs fan across the selected execution backend, genomes are
+    scored on settled surplus / overcommitted capital / satisfied fraction,
+    and clone/mutate/select produces the next generation.  Prints the
+    per-generation premium trajectory with 95% CIs and whether premiums
+    fell CI-separated — the paper's live finding.  ``tournament`` with no
+    preset name (or ``--list``) lists the registered tournament presets.
 ``sweep``
     Run a batch of scenarios in parallel and print the aggregate
     cross-scenario report.  ``--mechanism`` crosses the selection with
@@ -53,6 +62,10 @@ never pollute the artifact.
 >>> from repro.cli import build_parser
 >>> build_parser().parse_args(["run", "smoke", "--workers", "2"]).workers
 2
+>>> build_parser().parse_args(["tournament", "paper-tournament", "--generations", "3"]).generations
+3
+>>> build_parser().parse_args(["tournament", "--list"]).list_tournaments
+True
 >>> build_parser().parse_args(["sweep", "--all"]).all
 True
 >>> build_parser().parse_args(["sweep", "--mechanism", "all"]).mechanism
@@ -118,6 +131,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--replicates", type=int, default=1, metavar="N",
                          help="run N replicate seeds (seed, seed+1, ...) in parallel")
     _add_run_options(run_cmd)
+
+    t_cmd = sub.add_parser(
+        "tournament",
+        help="evolve a bidder population across generations of a scenario")
+    t_cmd.add_argument("name", nargs="?", default=None,
+                       help="tournament preset name (omit or --list to see them)")
+    t_cmd.add_argument("--list", action="store_true", dest="list_tournaments",
+                       help="list the registered tournament presets")
+    t_cmd.add_argument("--generations", type=int, default=None, metavar="N",
+                       help="override the preset's generation count")
+    t_cmd.add_argument("--replicates", type=int, default=None, metavar="N",
+                       help="override the replicate seeds evaluated per generation")
+    t_cmd.add_argument("--population", type=int, default=None, metavar="N",
+                       help="override the population size (default: base scenario's teams)")
+    _add_run_options(t_cmd)
 
     sweep_cmd = sub.add_parser("sweep", help="run a batch of scenarios in parallel")
     sweep_cmd.add_argument("scenarios", nargs="*", metavar="SCENARIO",
@@ -288,6 +316,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "tournament":
+            return _cmd_tournament(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "worker":
@@ -535,6 +565,125 @@ def _cmd_run(args: argparse.Namespace) -> int:
     _emit(report, args, time.perf_counter() - start, args.workers)
     _maybe_persist(backend, args)
     return 0
+
+
+# -- tournament ---------------------------------------------------------------------------
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.agents.tournament import GenerationReport, TournamentEngine
+    from repro.simulation.catalog import get_tournament
+
+    if args.backend == "list":
+        return _print_backend_list()
+    if args.list_tournaments or args.name is None:
+        return _print_tournament_list()
+    if args.mechanism is not None:
+        raise _UsageError("--mechanism does not apply to tournaments (always the market)")
+    if args.engine is not None:
+        raise _UsageError("--engine does not apply to tournaments (the base scenario's engine runs)")
+    try:
+        config = get_tournament(args.name)
+    except KeyError as error:
+        raise _UsageError(error.args[0]) from None
+    overrides: dict[str, object] = {}
+    if args.generations is not None:
+        overrides["generations"] = args.generations
+    if args.replicates is not None:
+        overrides["replicates"] = args.replicates
+    if args.population is not None:
+        overrides["population_size"] = args.population
+    if args.auctions is not None:
+        overrides["auctions"] = args.auctions
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        try:
+            config = dc_replace(config, **overrides)
+        except ValueError as error:  # re-validated by TournamentConfig
+            raise _UsageError(str(error)) from None
+
+    backend = _backend_for(args)
+    runner = ParallelRunner(workers=args.workers, backend=backend)
+    store, version = _store_for(args)
+
+    def progress(report: GenerationReport) -> None:
+        premiums = report.mean_premium_per_replicate
+        best = report.best_genome
+        print(
+            f"  generation {report.generation}: mean premium "
+            f"{float(sum(premiums)) / len(premiums):.4f} over {len(premiums)} replicate(s), "
+            f"best genome {best.name} ({best.kind}, score {report.scores[best.name]:.4f})",
+            file=sys.stderr,
+        )
+
+    start = time.perf_counter()
+    try:
+        report = TournamentEngine(
+            config, runner=runner, store=store, code_version=version
+        ).run(on_generation=progress)
+        if store is not None:
+            runs = sum(len(g.results) for g in report.generations)
+            print(
+                f"{runs} run(s) recorded to {store.path} (code version {version})",
+                file=sys.stderr,
+            )
+    finally:
+        if store is not None:
+            store.close()
+    payload = report.to_json()
+    if args.out is not None:
+        args.out.write_text(payload)
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.json:
+        sys.stdout.write(payload)
+    else:
+        _print_tournament_report(report)
+    workers = args.workers
+    label = "serial" if (workers or 0) == 1 else f"workers={workers or 'auto'}"
+    print(f"finished in {time.perf_counter() - start:.2f}s ({label})", file=sys.stderr)
+    _maybe_persist(backend, args)
+    return 0
+
+
+def _print_tournament_list() -> int:
+    from repro.simulation.catalog import get_tournament, tournament_names
+
+    header = (
+        f"{'tournament':<20} {'base scenario':<18} {'gens':>5} {'reps':>5}  description"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in tournament_names():
+        s = get_tournament(name).summary()
+        print(
+            f"{s['name']:<20} {s['base_scenario']:<18} {s['generations']:>5} "
+            f"{s['replicates']:>5}  {s['description']}"
+        )
+    return 0
+
+
+def _print_tournament_report(report) -> None:
+    header = f"{'generation':>10} {'mean premium':>13} {'95% CI':>22} {'best genome':<24} kind"
+    print(header)
+    print("-" * len(header))
+    for gen, row in zip(report.generations, report.premium_trajectory()):
+        ci = f"[{row.ci95[0]:.4f}, {row.ci95[1]:.4f}]" if row.ci95 else "n/a"
+        best = gen.best_genome
+        print(
+            f"{row.generation:>10} {row.mean:>13.4f} {ci:>22} {best.name:<24} {best.kind}"
+        )
+    print()
+    last = report.generations[-1]
+    verdict = "yes" if report.premiums_fell else "no"
+    print(
+        f"premiums fell, 95%-CI separated, generation 0 -> "
+        f"{last.generation}: {verdict}"
+    )
+    print("final-generation kind scores: "
+          + ", ".join(f"{k} {v:+.3f}" for k, v in last.kind_mean_scores().items()))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:

@@ -50,6 +50,7 @@ import re
 from dataclasses import dataclass, field, replace
 
 from repro.agents.population import PopulationSpec
+from repro.agents.tournament import TournamentConfig
 from repro.cluster.fleet_gen import FleetSpec, congested_fleet_spec, idle_fleet_spec
 from repro.cluster.resources import RESOURCE_TYPES
 from repro.simulation.scenario import Scenario, ScenarioConfig, build_scenario
@@ -382,5 +383,78 @@ SMOKE = register_scenario(
         ),
         auctions=3,
         tags=frozenset({"ci"}),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Tournament presets: evolving-population runs layered on the scenarios above.
+# ---------------------------------------------------------------------------
+
+#: The registry: tournament name -> config.  Populated by
+#: :func:`register_tournament`; names must not collide with scenario names
+#: because generation runs are stored under ``<tournament>-g<N>``.
+TOURNAMENTS: dict[str, TournamentConfig] = {}
+
+
+def register_tournament(config: TournamentConfig) -> TournamentConfig:
+    """Add a tournament preset; rejects duplicate names.
+
+    >>> register_tournament(get_tournament("paper-tournament"))
+    Traceback (most recent call last):
+    ...
+    ValueError: tournament 'paper-tournament' is already registered
+    """
+    if config.name in TOURNAMENTS:
+        raise ValueError(f"tournament {config.name!r} is already registered")
+    if config.base_scenario not in SCENARIOS:
+        raise ValueError(
+            f"tournament {config.name!r}: unknown base scenario {config.base_scenario!r}"
+        )
+    TOURNAMENTS[config.name] = config
+    return config
+
+
+def tournament_names() -> list[str]:
+    """All registered tournament names, sorted.
+
+    >>> "paper-tournament" in tournament_names()
+    True
+    """
+    return sorted(TOURNAMENTS)
+
+
+def get_tournament(name: str) -> TournamentConfig:
+    """Look up a tournament by name; unknown names list what *is* available."""
+    try:
+        return TOURNAMENTS[name]
+    except KeyError:
+        known = ", ".join(tournament_names())
+        raise KeyError(f"unknown tournament {name!r}; available: {known}") from None
+
+
+#: The headline tournament: five generations of the paper's market, three
+#: replicate seeds per generation.  The tier-1 acceptance test asserts its
+#: mean bid premium falls 95%-CI-separated from generation 0 to the final
+#: generation — the paper's live-deployment finding as a tested emergent
+#: property.
+PAPER_TOURNAMENT = register_tournament(
+    TournamentConfig(
+        name="paper-tournament",
+        description="5 evolving generations of the paper's 100-bidder market",
+        base_scenario="paper-reference",
+        generations=5,
+        replicates=3,
+    )
+)
+
+#: Reduced scale for CI smoke runs (`make smoke`) and quick local checks.
+register_tournament(
+    TournamentConfig(
+        name="smoke-tournament",
+        description="2 quick generations at smoke scale for CI",
+        base_scenario="smoke",
+        generations=2,
+        replicates=2,
     )
 )

@@ -105,6 +105,12 @@ class ScenarioRunResult:
     #: Fraction of teams whose current demand is fully covered by the quota
     #: the mechanism has provisioned so far, per epoch.
     satisfied_fraction: list[float] = field(default_factory=list)
+    #: Per-team settlement outcomes pooled across the run's auctions (bids,
+    #: wins, surplus at former fixed prices, overcommitted limit, satisfied
+    #: fraction).  Populated only for roster-driven populations — tournament
+    #: generations score genomes from this — and serialised only when present,
+    #: so reports for ordinary sampled populations keep their exact bytes.
+    team_scores: dict[str, dict[str, float]] = field(default_factory=dict)
     #: Measured wall time of the run in seconds.  Deliberately *not* part of
     #: the canonical report (or equality): timings vary run to run, reports
     #: must not.  The result store persists it for measured-cost scheduling.
@@ -128,7 +134,7 @@ class ScenarioRunResult:
 
     def to_dict(self) -> dict[str, object]:
         """The canonical per-scenario report entry."""
-        return {
+        payload: dict[str, object] = {
             "scenario": self.scenario,
             "seed": self.seed,
             "engine": self.engine,
@@ -153,6 +159,9 @@ class ScenarioRunResult:
             "premium_drop": self.premium_drop,
             "utilization_spread_change": self.utilization_spread_change,
         }
+        if self.team_scores:
+            payload["team_scores"] = self.team_scores
+        return payload
 
     @classmethod
     def from_dict(
@@ -217,7 +226,54 @@ class ScenarioRunResult:
             satisfied_fraction=_round_list(
                 a.satisfied_fraction for a in history.allocation_series()
             ),
+            team_scores=(
+                _team_outcomes(scenario, history)
+                if spec.config.population.roster is not None
+                else {}
+            ),
         )
+
+
+def _team_outcomes(scenario: Scenario, history: EconomyHistory) -> dict[str, dict[str, float]]:
+    """Per-team settlement outcomes pooled across a run's auctions.
+
+    ``surplus`` values each won bundle at the *former fixed prices* (the
+    paper's pre-market willingness-to-pay anchor) minus the settled payment:
+    buying below fixed value or selling above it is profit.  ``overcommitment``
+    is the limit committed beyond the payment — capital the platform's budget
+    check kept locked up, i.e. the premium in currency units.  Everything is
+    rounded to the canonical digit budget so tournament selection on these
+    numbers is identical whatever backend produced them.
+    """
+    fixed = scenario.fleet.fixed_prices
+    out: dict[str, dict[str, float]] = {
+        agent.name: {"bids": 0, "wins": 0, "surplus": 0.0, "overcommitment": 0.0}
+        for agent in scenario.agents
+    }
+    for period in history.periods:
+        index = period.settlement.index
+        fixed_vec = np.array([fixed.get(pool.name, 0.0) for pool in index], dtype=float)
+        for line in period.settlement.lines:
+            rec = out.get(line.bidder)
+            if rec is None:  # operator supply offers are not tournament teams
+                continue
+            rec["bids"] += 1
+            if line.won:
+                rec["wins"] += 1
+                rec["surplus"] += float(line.allocation @ fixed_vec) - line.payment
+                rec["overcommitment"] += abs(line.limit - line.payment)
+    scores: dict[str, dict[str, float]] = {}
+    for name in sorted(out):
+        rec = out[name]
+        bids = int(rec["bids"])
+        scores[name] = {
+            "bids": bids,
+            "wins": int(rec["wins"]),
+            "surplus": _round(rec["surplus"]),
+            "overcommitment": _round(rec["overcommitment"]),
+            "satisfied_fraction": _round(rec["wins"] / bids) if bids else 0.0,
+        }
+    return scores
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioRunResult:

@@ -1,0 +1,179 @@
+"""Per-strategy contract tests, parametrised over every registered kind.
+
+Every strategy kind in :data:`repro.agents.traits.STRATEGY_BUILDERS` must
+honour the same contract when built from a trait vector: bids are schema-valid
+:class:`~repro.core.bids.Bid` objects in the agent's own name, buy limits
+never exceed the team budget, and the same ``(kind, traits, seed)`` triple
+produces bit-identical bids.  Parametrising over :func:`strategy_kinds` means
+a newly registered kind is covered with zero test edits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents.base import DemandProfile, MarketView, TeamAgent
+from repro.agents.population import PopulationSpec, build_population
+from repro.agents.traits import (
+    ENDOWED_KINDS,
+    AgentGenome,
+    Traits,
+    strategy_from_traits,
+    strategy_kinds,
+)
+from repro.cluster.fleet_gen import small_fleet
+from repro.core.bids import Bid, BidderClass
+from repro.market.services import ServiceRequest, default_catalog
+
+BUDGET = 5_000.0
+
+#: Trait corners plus the centre: the contract must hold across the whole box.
+TRAIT_POINTS = [
+    Traits(),
+    Traits(aggressiveness=1.0, patience=0.0, budget_discipline=0.0, learning_rate=1.0),
+    Traits(aggressiveness=0.0, patience=1.0, budget_discipline=1.0, learning_rate=0.0),
+]
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return small_fleet(4, seed=21, utilization_range=(0.15, 0.95))
+
+
+@pytest.fixture(scope="module")
+def view(fleet):
+    index = fleet.pool_index
+    return MarketView(
+        index=index,
+        displayed_prices={p.name: p.unit_cost for p in index},
+        fixed_prices=dict(fleet.fixed_prices),
+        auction_number=1,
+        topology=fleet.topology,
+    )
+
+
+def make_trait_agent(fleet, kind, traits, *, seed, budget=BUDGET):
+    """One TeamAgent whose strategy comes from the trait registry."""
+    catalog = default_catalog()
+    home = fleet.cluster_names()[0]
+    demand = DemandProfile(
+        home_cluster=home,
+        requests=[ServiceRequest("batch_compute", home, 20)],
+        growth_rate=0.1,
+    )
+    agent = TeamAgent(
+        name=f"contract-{kind}",
+        demand=demand,
+        strategy=strategy_from_traits(kind, traits, seed=seed),
+        catalog=catalog,
+        budget=budget,
+    )
+    if kind in ENDOWED_KINDS:
+        agent.holdings = demand.covering_bundle(catalog, fleet.pool_index, home)
+    return agent
+
+
+def bid_fingerprints(bids):
+    """A comparable, hashable rendering of a bid list (order-sensitive)."""
+    return [
+        (bid.bidder, round(bid.limit, 9), bid.bundles.matrix.tobytes())
+        for bid in bids
+    ]
+
+
+@pytest.mark.parametrize("kind", strategy_kinds())
+class TestStrategyContract:
+    def test_bids_are_schema_valid(self, fleet, view, kind):
+        for traits in TRAIT_POINTS:
+            agent = make_trait_agent(fleet, kind, traits, seed=11)
+            for bid in agent.prepare_bids(view):
+                assert isinstance(bid, Bid)
+                assert bid.bidder == agent.name
+                assert np.isfinite(bid.limit)
+                assert len(bid.bundles) >= 1
+                assert bid.bundles.index is view.index
+
+    def test_buy_limits_respect_budget(self, fleet, view, kind):
+        for traits in TRAIT_POINTS:
+            agent = make_trait_agent(fleet, kind, traits, seed=17)
+            for bid in agent.prepare_bids(view):
+                if bid.bidder_class is BidderClass.PURE_SELLER:
+                    # Sellers state minimum revenue as a negative limit;
+                    # no budget is committed.
+                    assert bid.limit <= 0.0
+                else:
+                    assert 0.0 <= bid.limit <= agent.budget + 1e-9
+
+    def test_deterministic_per_seed(self, fleet, view, kind):
+        traits = Traits(aggressiveness=0.7, patience=0.3, budget_discipline=0.6)
+        first = make_trait_agent(fleet, kind, traits, seed=23).prepare_bids(view)
+        second = make_trait_agent(fleet, kind, traits, seed=23).prepare_bids(view)
+        assert bid_fingerprints(first) == bid_fingerprints(second)
+
+    def test_different_seeds_allowed_to_differ(self, fleet, view, kind):
+        """Seeds pin noise only — changing the seed must never raise."""
+        traits = Traits()
+        for seed in (1, 2, 3):
+            agent = make_trait_agent(fleet, kind, traits, seed=seed)
+            agent.prepare_bids(view)
+
+
+class TestRosterBuildPopulation:
+    """Roster-driven population builds honour genome names and endowments."""
+
+    def _spec(self, roster):
+        return PopulationSpec(
+            team_count=len(roster),
+            budget_per_team=BUDGET,
+            strategy_mix={"lowball": 1.0},
+            roster=roster,
+        )
+
+    def _roster(self):
+        return tuple(
+            AgentGenome(name=f"g0-{kind}-000", kind=kind, traits=Traits())
+            for kind in strategy_kinds()
+        )
+
+    def test_roster_names_and_kinds_honoured(self, fleet):
+        roster = self._roster()
+        agents = build_population(fleet, self._spec(roster), catalog=default_catalog(), seed=5)
+        assert [a.name for a in agents] == [g.name for g in roster]
+        for genome, agent in zip(roster, agents):
+            expected = type(strategy_from_traits(genome.kind, genome.traits, seed=0))
+            assert type(agent.strategy) is expected
+
+    def test_endowed_kinds_get_holdings(self, fleet):
+        roster = self._roster()
+        agents = build_population(fleet, self._spec(roster), catalog=default_catalog(), seed=5)
+        for genome, agent in zip(roster, agents):
+            if genome.kind in ENDOWED_KINDS:
+                assert agent.holdings, f"{genome.kind} should start with inventory"
+            else:
+                assert not agent.holdings
+
+    def test_roster_build_is_deterministic(self, fleet):
+        roster = self._roster()
+        a = build_population(fleet, self._spec(roster), catalog=default_catalog(), seed=9)
+        b = build_population(fleet, self._spec(roster), catalog=default_catalog(), seed=9)
+        assert [x.demand.home_cluster for x in a] == [y.demand.home_cluster for y in b]
+        assert [x.budget for x in a] == [y.budget for y in b]
+
+    def test_roster_size_must_match_team_count(self):
+        roster = self._roster()
+        with pytest.raises(ValueError):
+            PopulationSpec(
+                team_count=len(roster) + 1,
+                budget_per_team=BUDGET,
+                strategy_mix={"lowball": 1.0},
+                roster=roster,
+            )
+
+    def test_roster_names_must_be_unique(self):
+        dup = AgentGenome(name="dup", kind="lowball", traits=Traits())
+        with pytest.raises(ValueError):
+            PopulationSpec(
+                team_count=2,
+                budget_per_team=BUDGET,
+                strategy_mix={"lowball": 1.0},
+                roster=(dup, dup),
+            )

@@ -7,8 +7,10 @@ the tier-1 suite, not just the rendered docs.  The simulation sweep covers
 the scenario catalog and parallel runner modules; :mod:`repro.results`
 (the persistent result store and replicate statistics), :mod:`repro.mechanisms`
 (the allocation-mechanism registry), :mod:`repro.exec` (the execution-backend
-registry and remote fabric), and :mod:`repro.cli` are included so the
-``python -m repro``, store, mechanism, and backend examples stay honest.
+registry and remote fabric), :mod:`repro.agents` (strategy traits, populations,
+and the tournament engine), and :mod:`repro.cli` are included so the
+``python -m repro``, store, mechanism, backend, and tournament examples stay
+honest.
 """
 
 import doctest
@@ -17,6 +19,7 @@ import pkgutil
 
 import pytest
 
+import repro.agents
 import repro.bidlang
 import repro.cluster
 import repro.core
@@ -35,7 +38,8 @@ def _modules_of(package):
 
 MODULES = sorted(
     set(
-        _modules_of(repro.core)
+        _modules_of(repro.agents)
+        + _modules_of(repro.core)
         + _modules_of(repro.bidlang)
         + _modules_of(repro.cluster)
         + _modules_of(repro.simulation)
