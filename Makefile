@@ -4,7 +4,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Port the smoke target's remote-backend leg listens on (localhost only).
 SMOKE_PORT ?= 7351
 
-.PHONY: test doctest bench bench-smoke smoke chaos check
+.PHONY: test doctest bench bench-smoke smoke chaos equivalence check
 
 ## tier-1: full unit/property/integration suite plus quick benchmarks
 test:
@@ -34,6 +34,8 @@ bench-smoke:
 ## 2-generation smoke tournament exercises the evolving-bidder pipeline
 ## (traits -> roster -> generations) end to end through the CLI.
 smoke:
+	$(PYTHON) -m pytest tests/core/test_engine_equivalence.py -q \
+	    -k "smoke or Auction or RoundZero or Convergence"
 	$(PYTHON) -m repro run paper-reference --workers 1
 	$(PYTHON) -m repro tournament smoke-tournament --workers 1 --no-store
 	$(PYTHON) -m repro run paper-reference --workers 1 --mechanism fixed-price
@@ -59,5 +61,13 @@ chaos:
 	$(PYTHON) -m pytest tests/exec/test_chaos.py tests/exec/test_queue.py \
 	    tests/exec/test_control.py tests/property/test_property_queue.py -q
 
+## differential-equivalence harness: scalar vs batch vs sharded demand
+## engines must produce byte-identical canonical reports and round traces
+## on every non-stress catalog preset (plus the sharding property suite) —
+## engine drift fails the build here, not just in the benchmarks
+equivalence:
+	$(PYTHON) -m pytest tests/core/test_engine_equivalence.py \
+	    tests/property/test_property_sharding.py -q
+
 ## everything CI runs
-check: test doctest chaos smoke
+check: test doctest chaos equivalence smoke

@@ -15,6 +15,13 @@ import pytest
 from repro.experiments.config import PAPER_SCALE, TEST_SCALE, ExperimentConfig
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running stress benchmarks (deselect with -m 'not slow')",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:
     """The experiment scale used by all benchmarks."""

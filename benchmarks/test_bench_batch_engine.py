@@ -1,14 +1,23 @@
-"""Benchmark E-BATCH: scalar vs vectorized round-collection (`_collect`).
+"""Benchmark E-BATCH: scalar vs batch vs sharded demand engines.
 
 The per-round demand-collection step is the dominant cost of every clock
-auction.  This benchmark times one full round of demand collection under the
-scalar proxy loop and under the vectorized batch engine at 100 / 1 000 /
-10 000 bidders, asserts the >= 5x speedup the batch engine exists to deliver,
-and appends the measured trajectory to ``BENCH_batch_engine.json`` at the
-repository root so the speedup history is tracked across PRs.
+auction.  This module benchmarks two layers of the answer:
 
-Set ``REPRO_BENCH_SCALE=test`` (as for every other benchmark) to run a
-reduced sweep (no 10k-bidder point) that skips the JSON recording.
+* ``test_batch_engine_round_collection_speedup`` times one full round of
+  demand collection under the scalar proxy loop and under the vectorized
+  batch engine at 100 / 1 000 / 10 000 bidders and asserts the >= 5x
+  speedup the batch engine exists to deliver;
+* ``test_sharded_stress_auction`` (marked ``slow``) clears the
+  ``100k-bidder-stress`` preset's first auction with the batch and the
+  pool-sharded engines, asserts bit-identical outcomes, a wall-time
+  ceiling, and — on machines with >= 4 cores — the >= 2x rounds/second
+  advantage the sharded engine exists to deliver.
+
+Both tests merge their measurements into ``BENCH_batch_engine.json`` at the
+repository root (one entry per day) so the trajectories are tracked across
+PRs.  Set ``REPRO_BENCH_SCALE=test`` (as for every other benchmark) to run
+a reduced sweep — no 10k-bidder collection point, and the stress test drops
+to the smoke-tier ``10k-bidder-stress`` preset — that skips the recording.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from conftest import print_section
 
@@ -26,6 +36,9 @@ from repro.cluster.pools import PoolIndex, ResourcePool
 from repro.cluster.resources import ResourceType
 from repro.core.bids import Bid
 from repro.core.clock_auction import AscendingClockAuction, AuctionConfig
+from repro.core.reserve import PAPER_PHI_1, ReservePricer
+from repro.simulation.catalog import get_scenario
+from repro.simulation.economy import MarketEconomySimulation
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_batch_engine.json"
 
@@ -35,6 +48,41 @@ POOL_COUNT_CLUSTERS = 17  # x3 resource types = 51 pools
 
 #: The acceptance bar for the batch engine on the 1k-bidder path.
 REQUIRED_SPEEDUP = 5.0
+
+#: Stress scale: the 100k preset at paper scale, the 10k smoke-tier scale
+#: under ``REPRO_BENCH_SCALE=test``.
+STRESS_PRESET = "100k-bidder-stress" if FULL_SCALE else "10k-bidder-stress"
+
+#: Wall-time ceiling for the sharded engine to clear one stress auction.
+STRESS_WALL_CEILING_SECONDS = 240.0 if FULL_SCALE else 120.0
+
+#: The sharded acceptance bar: rounds/second vs the batch engine, asserted
+#: only on machines with at least this many cores (the threads need cores
+#: to win on; single-core runners still check identity and the ceiling).
+REQUIRED_SHARD_SPEEDUP = 2.0
+SHARD_SPEEDUP_MIN_CORES = 4
+
+
+def record_bench_entry(**payload) -> None:
+    """Merge measurement keys into today's ``BENCH_batch_engine.json`` entry.
+
+    At most one entry per day: repeated runs update today's entry instead of
+    bloating the file, and the two tests in this module merge their keys
+    (``points``, ``sharded_stress``) into the same entry instead of
+    clobbering each other.
+    """
+    history = []
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text())
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+    if history and history[-1]["recorded_at"][:10] == stamp[:10]:
+        entry = history[-1]
+        entry["recorded_at"] = stamp
+    else:
+        entry = {"recorded_at": stamp}
+        history.append(entry)
+    entry.update(payload)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def build_index(clusters: int) -> PoolIndex:
@@ -126,18 +174,9 @@ def test_batch_engine_round_collection_speedup(benchmark):
             f"{row['batch_seconds_per_round']:>12.6f} {row['speedup']:>8.1f}x"
         )
 
-    # Record the speedup trajectory across PRs (full scale only; at most one
-    # entry per day, so repeated runs update today's entry instead of
-    # bloating the file).
+    # Record the speedup trajectory across PRs (full scale only).
     if FULL_SCALE:
-        history = []
-        if BENCH_JSON.exists():
-            history = json.loads(BENCH_JSON.read_text())
-        stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-        if history and history[-1]["recorded_at"][:10] == stamp[:10]:
-            history.pop()
-        history.append({"recorded_at": stamp, "points": rows})
-        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+        record_bench_entry(points=rows)
 
     # The acceptance bar: >= 5x on the 1k-bidder round-collection path, and
     # the batch path must keep winning at the scale it unlocks.
@@ -145,3 +184,99 @@ def test_batch_engine_round_collection_speedup(benchmark):
     assert by_count[1_000]["speedup"] >= REQUIRED_SPEEDUP
     if 10_000 in by_count:
         assert by_count[10_000]["speedup"] >= REQUIRED_SPEEDUP
+
+
+@pytest.mark.slow
+def test_sharded_stress_auction(benchmark):
+    """The stress preset's first auction: sharded vs batch, same bytes, faster.
+
+    Builds the stress scenario, collects one bid window exactly as an epoch
+    would, then clears the same bids with the batch and the sharded engines.
+    The outcomes must be bit-identical; the sharded engine must finish under
+    the wall ceiling; and on >= 4 cores it must clear at least 2x the
+    rounds/second of the batch loop (the per-shard clocks freeze early and
+    run concurrently).  The measured trajectory lands in
+    ``BENCH_batch_engine.json`` under ``sharded_stress``.
+    """
+    spec = get_scenario(STRESS_PRESET)
+    scenario = spec.build()
+    sim = MarketEconomySimulation(
+        scenario, drift_scale=spec.drift_scale, preliminary_runs=spec.preliminary_runs
+    )
+    platform = scenario.platform
+    platform.open_bid_window()
+    sim._refresh_agent_state()
+    view = sim._market_view()
+    bids = [bid for agent in scenario.agents for bid in agent.prepare_bids(view)]
+    index = platform.index
+    reserve = ReservePricer(weighting=PAPER_PHI_1).reserve_prices(index)
+    supply = index.available() * spec.config.operator_supply_fraction
+
+    results: dict[str, dict] = {}
+
+    def measure():
+        results.clear()
+        for engine in ("batch", "sharded"):
+            auction = AscendingClockAuction(
+                index,
+                bids,
+                reserve_prices=reserve,
+                supply=supply,
+                config=AuctionConfig(engine=engine),
+            )
+            start = time.perf_counter()
+            outcome = auction.run()
+            wall = time.perf_counter() - start
+            results[engine] = {"auction": auction, "outcome": outcome, "wall": wall}
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    batch_outcome = results["batch"]["outcome"]
+    sharded_outcome = results["sharded"]["outcome"]
+    sharded = results["sharded"]["auction"]
+
+    # Identity first: a fast wrong answer is worthless.
+    assert sharded_outcome.round_count == batch_outcome.round_count
+    assert sharded_outcome.final_prices.tobytes() == batch_outcome.final_prices.tobytes()
+    assert sharded_outcome.excess_demand.tobytes() == batch_outcome.excess_demand.tobytes()
+
+    rounds = sharded_outcome.round_count
+    batch_rps = rounds / results["batch"]["wall"]
+    sharded_rps = rounds / results["sharded"]["wall"]
+    cores = os.cpu_count() or 1
+    stats = sharded.shard_stats or {}
+    row = {
+        "preset": STRESS_PRESET,
+        "bidders": len(bids),
+        "pools": len(index),
+        "rounds": rounds,
+        "cores": cores,
+        "batch_seconds": results["batch"]["wall"],
+        "sharded_seconds": results["sharded"]["wall"],
+        "batch_rounds_per_second": batch_rps,
+        "sharded_rounds_per_second": sharded_rps,
+        "speedup": sharded_rps / batch_rps if batch_rps > 0 else float("inf"),
+        "shards": stats.get("shards", 0),
+        "effective_shards": stats.get("effective_shards", 0),
+        "workers": stats.get("workers", 0),
+        "fallback": bool(stats.get("fallback", False)),
+    }
+
+    print_section(f"Sharded vs batch stress auction ({STRESS_PRESET})")
+    print(
+        f"bidders={row['bidders']} pools={row['pools']} rounds={rounds} "
+        f"shards={row['shards']} workers={row['workers']} cores={cores}"
+    )
+    print(
+        f"batch   {row['batch_seconds']:>8.2f}s  {batch_rps:>6.2f} rounds/s\n"
+        f"sharded {row['sharded_seconds']:>8.2f}s  {sharded_rps:>6.2f} rounds/s  "
+        f"({row['speedup']:.2f}x)"
+    )
+
+    if FULL_SCALE:
+        record_bench_entry(sharded_stress=row)
+
+    assert results["sharded"]["wall"] <= STRESS_WALL_CEILING_SECONDS
+    if FULL_SCALE and cores >= SHARD_SPEEDUP_MIN_CORES:
+        assert sharded_rps >= REQUIRED_SHARD_SPEEDUP * batch_rps, row

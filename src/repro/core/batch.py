@@ -25,16 +25,32 @@ demand — so :class:`~repro.core.clock_auction.AscendingClockAuction` can swap
 it in underneath the existing round-trace contract (``AuctionRound`` /
 ``AuctionOutcome``) without any caller noticing anything but speed.
 
+Beyond the one-shot evaluation this module is also the substrate of the
+*sharded* engine (``engine="sharded"`` in
+:class:`~repro.core.clock_auction.AuctionConfig`): :func:`plan_shards`
+partitions the pool index into independent shards — groups of pools that no
+bid couples across — straight from the stacked bid matrix, and
+:meth:`BatchDemandEngine.restrict` carves a per-shard row view of the stacked
+arrays so each shard's price discovery runs on its own (smaller) batch
+engine.  See ``docs/sharding.md`` for the merge semantics.
+
 Numerical-identity notes
 ------------------------
 
 * Demand *totals* are accumulated with :func:`sum_demand_rows`
   (``np.add.reduce`` over axis 0), which is bit-identical to the scalar
   path's sequential ``total += quantities`` accumulation for IEEE floats.
+  Because a bid's bundle rows are structurally zero outside the pools it
+  references (and structural zeros stay exactly ``+0.0`` under any finite
+  price), a shard's per-pool total is bit-identical to the full stacked
+  sum restricted to the shard's pools — the property the sharded engine's
+  trace merge rests on.
 * Bundle *costs* come from one stacked matrix-vector product instead of one
   small product per bidder; BLAS may order the per-row dot products'
   partial sums differently, so costs can differ from the scalar path in the
-  last few ULPs.  This only matters when a bundle cost sits within ~1e-15
+  last few ULPs.  The same qualification applies between the full stacked
+  matrix and a shard's row subset (gemv partial-sum order depends on the
+  row count).  This only matters when a bundle cost sits within ~1e-15
   (relative) of another bundle's cost or of the bidder's limit — knife-edge
   ties that the equivalence test suite shows do not occur for generic
   instances.
@@ -81,6 +97,55 @@ def sum_demand_rows(rows: np.ndarray) -> np.ndarray:
     if rows.shape[0] == 0:
         return np.zeros(rows.shape[1], dtype=float)
     return np.add.reduce(rows, axis=0)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of pools (and the bids over them) into independent shards.
+
+    Two pools belong to the same shard exactly when some bid references both
+    (any bundle of a bid couples *all* pools the bid touches, because the XOR
+    set is evaluated jointly against one limit).  Pools no bid references —
+    plus bids whose bundles are all-zero — are collected into one trailing
+    *leftover* shard, which trivially clears in a single round.
+
+    Attributes
+    ----------
+    pool_groups:
+        Pool positions per shard, each sorted ascending; together they cover
+        every pool exactly once.
+    bid_groups:
+        Bid positions (submission order) per shard, aligned with
+        ``pool_groups``; together they cover every bid exactly once.
+    """
+
+    pool_groups: tuple[tuple[int, ...], ...]
+    bid_groups: tuple[tuple[int, ...], ...]
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards, including a trailing leftover shard if any."""
+        return len(self.pool_groups)
+
+    @property
+    def effective_shards(self) -> int:
+        """Number of shards that actually carry bids.
+
+        The sharded engine only pays its orchestration overhead when at least
+        two shards have price discovery to do; below that it falls back to
+        the plain batch loop.
+        """
+        return sum(1 for group in self.bid_groups if group)
+
+    def describe(self) -> dict[str, object]:
+        """Scalar facts for logs and stats: shard count and size spread."""
+        sizes = sorted((len(g) for g in self.bid_groups), reverse=True)
+        return {
+            "shards": self.shard_count,
+            "effective_shards": self.effective_shards,
+            "largest_shard_bids": sizes[0] if sizes else 0,
+            "pool_groups": [len(g) for g in self.pool_groups],
+        }
 
 
 @dataclass(frozen=True)
@@ -177,6 +242,11 @@ class BatchDemandEngine:
             self._matrix = np.vstack([bid.bundles.matrix for bid in bids]).astype(float, copy=False)
             counts = np.array([len(bid.bundles) for bid in bids], dtype=np.intp)
         self._limits = np.array([bid.limit for bid in bids], dtype=float)
+        self._init_layout(counts)
+
+    def _init_layout(self, counts: np.ndarray) -> None:
+        """Derive the segment bookkeeping from per-bidder bundle counts."""
+        n = len(self.bidders)
         offsets = np.zeros(n + 1, dtype=np.intp)
         np.cumsum(counts, out=offsets[1:])
         self._starts = offsets[:-1]
@@ -205,6 +275,130 @@ class BatchDemandEngine:
     def limits(self) -> np.ndarray:
         """Per-bidder willingness-to-pay limits ``pi_u``."""
         return self._limits
+
+    def restrict(self, positions: Sequence[int]) -> "BatchDemandEngine":
+        """A new engine over the given bid positions (submission-order subset).
+
+        The stacked matrix rows of the selected bids are gathered into a
+        contiguous copy over the *full* pool axis, so the restricted engine
+        answers the same full-length price vectors as its parent — which is
+        what lets a shard's responses slot bitwise into the global trace
+        (structural zeros outside the shard's pools contribute exact ``+0.0``
+        to every cost and total).
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.cluster.pools import demo_pool_index
+        >>> from repro.core.bids import Bid
+        >>> index = demo_pool_index()
+        >>> bids = [Bid.buy(f"t{i}", index, [{"a/cpu": 5}], max_payment=50.0) for i in range(3)]
+        >>> sub = BatchDemandEngine(index, bids).restrict([2, 0])
+        >>> sub.bidders
+        ('t2', 't0')
+        >>> sub.matrix.shape
+        (2, 4)
+        """
+        positions = np.asarray(positions, dtype=np.intp)
+        sub = object.__new__(BatchDemandEngine)
+        sub.index = self.index
+        sub.bidders = tuple(self.bidders[int(i)] for i in positions)
+        sub._limits = self._limits[positions]
+        counts = self._offsets[positions + 1] - self._offsets[positions]
+        total = int(counts.sum())
+        if total:
+            # Row gather: for each selected bid, its contiguous row range.
+            ends = np.cumsum(counts)
+            local = np.arange(total, dtype=np.intp) - np.repeat(ends - counts, counts)
+            rows = np.repeat(self._starts[positions], counts) + local
+            sub._matrix = np.ascontiguousarray(self._matrix[rows])
+        else:
+            sub._matrix = np.zeros((0, len(self.index)), dtype=float)
+        sub._init_layout(counts)
+        return sub
+
+    def plan_shards(self) -> ShardPlan:
+        """Partition pools and bids into independent shards (see :class:`ShardPlan`).
+
+        Union-find over pool positions: every bid unions together all pools
+        any of its bundles references.  Shards are ordered by their smallest
+        pool position; unreferenced pools and all-zero bids form one trailing
+        leftover shard.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.cluster.pools import demo_pool_index
+        >>> from repro.core.bids import Bid
+        >>> index = demo_pool_index()   # pools: a/cpu a/ram b/cpu b/ram
+        >>> bids = [Bid.buy("a", index, [{"a/cpu": 1, "a/ram": 2}], max_payment=9.0),
+        ...         Bid.buy("b", index, [{"b/cpu": 1}], max_payment=9.0)]
+        >>> plan = BatchDemandEngine(index, bids).plan_shards()
+        >>> plan.pool_groups
+        ((0, 1), (2,), (3,))
+        >>> plan.bid_groups
+        ((0,), (1,), ())
+        """
+        r = len(self.index)
+        n = len(self.bidders)
+        parent = list(range(r))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return
+            # Attach the larger root under the smaller so every component's
+            # root is its smallest pool position (deterministic ordering).
+            if ra < rb:
+                parent[rb] = ra
+            else:
+                parent[ra] = rb
+
+        nz_rows, nz_cols = np.nonzero(self._matrix)
+        seg = self._segment_ids
+        #: First referenced pool of each bid; -1 for all-zero bids.
+        anchor = np.full(n, -1, dtype=np.intp)
+        current_bid = -1
+        current_anchor = -1
+        for row, col in zip(nz_rows.tolist(), nz_cols.tolist()):
+            bid = int(seg[row])
+            if bid != current_bid:
+                current_bid = bid
+                current_anchor = col
+                anchor[bid] = col
+            else:
+                union(current_anchor, col)
+
+        referenced = np.zeros(r, dtype=bool)
+        referenced[nz_cols] = True
+        pool_by_root: dict[int, list[int]] = {}
+        leftover_pools: list[int] = []
+        for p in range(r):
+            if referenced[find(p)] or referenced[p]:
+                pool_by_root.setdefault(find(p), []).append(p)
+            else:
+                leftover_pools.append(p)
+        roots = sorted(pool_by_root)
+        shard_of_root = {root: i for i, root in enumerate(roots)}
+        bid_by_shard: list[list[int]] = [[] for _ in roots]
+        leftover_bids: list[int] = []
+        for b in range(n):
+            if anchor[b] < 0:
+                leftover_bids.append(b)
+            else:
+                bid_by_shard[shard_of_root[find(int(anchor[b]))]].append(b)
+        pool_groups = [tuple(pool_by_root[root]) for root in roots]
+        bid_groups = [tuple(group) for group in bid_by_shard]
+        if leftover_pools or leftover_bids:
+            pool_groups.append(tuple(leftover_pools))
+            bid_groups.append(tuple(leftover_bids))
+        return ShardPlan(pool_groups=tuple(pool_groups), bid_groups=tuple(bid_groups))
 
     def respond_all(self, prices: np.ndarray) -> BatchResponse:
         """Evaluate ``G_u(p)`` for every bidder at once.

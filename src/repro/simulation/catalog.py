@@ -24,7 +24,11 @@ Catalog presets
                           payers, deep budgets.
 ``idle-fleet-migration``  Mostly idle fleet and relocator-heavy teams; load
                           should drain out of the few busy clusters.
-``10k-bidder-stress``     10 000 bidders on the batch demand engine (tagged
+``10k-bidder-stress``     10 000 bidders on the batch demand engine — the
+                          smoke-tier stress scale (tagged ``stress``; excluded
+                          from the default sweep).
+``100k-bidder-stress``    100 000 bidders on the sharded demand engine — the
+                          full stress scale the benchmarks track (tagged
                           ``stress``; excluded from the default sweep).
 ``smoke``                 The reduced scale used by unit tests and CI smoke
                           runs.
@@ -354,7 +358,7 @@ register_scenario(
 register_scenario(
     ScenarioSpec(
         name="10k-bidder-stress",
-        description="10 000 bidders on the batch engine (heavyweight)",
+        description="10 000 bidders on the batch engine (smoke-tier stress scale)",
         config=ScenarioConfig(
             fleet=FleetSpec(cluster_count=34, machines_range=(100, 400)),
             population=PopulationSpec(
@@ -366,6 +370,34 @@ register_scenario(
             seed=2009,
         ),
         auctions=2,
+        tags=frozenset({"stress"}),
+    )
+)
+
+#: The full stress scale: 100k bidders whose strategies stay in their home
+#: cluster, so the bid matrix decomposes into one independent shard per
+#: cluster and the sharded engine's per-shard price discovery pays off.
+register_scenario(
+    ScenarioSpec(
+        name="100k-bidder-stress",
+        description="100 000 bidders on the sharded engine (full stress scale)",
+        config=ScenarioConfig(
+            fleet=FleetSpec(cluster_count=34, machines_range=(100, 400)),
+            population=PopulationSpec(
+                team_count=100_000,
+                budget_per_team=20_000.0,
+                demand_scale=0.0001,
+                strategy_mix={
+                    "fixed_anchor": 0.45,
+                    "premium_payer": 0.20,
+                    "lowball": 0.20,
+                    "seller": 0.15,
+                },
+            ),
+            auction_engine="sharded",
+            seed=2009,
+        ),
+        auctions=1,
         tags=frozenset({"stress"}),
     )
 )

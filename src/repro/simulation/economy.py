@@ -56,6 +56,10 @@ class AuctionPeriodResult:
     #: the pool-level shortage/surplus side is derived from
     #: ``utilization_after`` by the runner).
     allocation: AllocationMetrics
+    #: Shard partition / worker facts from the sharded auction engine
+    #: (``None`` for scalar/batch runs).  Diagnostic only — never part of
+    #: the canonical report.
+    shard_stats: dict[str, object] | None = None
 
     @property
     def settlement(self) -> Settlement:
@@ -166,6 +170,7 @@ class MarketEconomySimulation:
             platform.index, demands_from_agents(self.scenario.agents, platform.index)
         )
 
+        self.engine.phase(f"auction-{self._auction_counter}:bids")
         platform.open_bid_window()
         self._refresh_agent_state()
         view = self._market_view()
@@ -179,13 +184,24 @@ class MarketEconomySimulation:
                     continue
         for _ in range(self.preliminary_runs):
             platform.run_preliminary()
+        # With the sharded engine, finalize_auction overlaps each shard's
+        # settlement with the remaining shards' price discovery (the
+        # exchange's on_shard pipeline); the phase markers bracket it so the
+        # engine trace shows the discovery window per epoch.
+        self.engine.phase(f"auction-{self._auction_counter}:discovery")
         record = platform.finalize_auction()
         settlement = record.result.settlement
+        self.engine.phase(f"auction-{self._auction_counter}:settled")
 
         # Feed settlements back to the agents (learning across auctions).
+        # Grouped once up front: a per-agent scan of the line list is
+        # O(agents x lines), which at stress scale is billions of
+        # comparisons; the grouping preserves each bidder's line order.
+        lines_by_bidder: dict[str, list] = {}
+        for line in settlement.lines:
+            lines_by_bidder.setdefault(line.bidder, []).append(line)
         for agent in self.scenario.agents:
-            lines = [line for line in settlement.lines if line.bidder == agent.name]
-            agent.observe_settlement(lines, view)
+            agent.observe_settlement(lines_by_bidder.get(agent.name, []), view)
 
         # Project the outcome onto next period's utilization and refresh the platform.
         updated_index = apply_settlement_to_utilization(
@@ -217,6 +233,7 @@ class MarketEconomySimulation:
             utilization_after=updated_index.utilizations().copy(),
             migration=migration_summary(trades),
             allocation=allocation,
+            shard_stats=record.result.shard_stats,
         )
         self.history.periods.append(period)
         return period

@@ -34,7 +34,7 @@ class ScenarioConfig:
     increment_cap_fraction: float = 0.10
     increment_alpha: float = 2.0
     #: Demand-collection engine for every auction in the scenario:
-    #: "auto" (default), "scalar", or "batch" — see
+    #: "auto" (default), "scalar", "batch", or "sharded" — see
     #: :attr:`repro.core.clock_auction.AuctionConfig.engine`.
     auction_engine: str = "auto"
     seed: int = 0

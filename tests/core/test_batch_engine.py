@@ -149,59 +149,6 @@ class TestEngineSelection:
         assert AscendingClockAuction(pool_index, large, reserve_prices=reserve).engine == "batch"
 
 
-class TestTraceEquivalence:
-    def run_both(self, pool_index, bids, **kwargs):
-        outcomes = []
-        for engine in ("scalar", "batch"):
-            auction = AscendingClockAuction(
-                pool_index,
-                bids,
-                reserve_prices=kwargs.get("reserve_prices", unit_reserve(pool_index)),
-                supply=kwargs.get("supply"),
-                config=AuctionConfig(engine=engine, record_bidder_demands=True),
-            )
-            outcomes.append(auction.run())
-        return outcomes
-
-    def assert_identical(self, scalar, batch):
-        assert scalar.round_count == batch.round_count
-        assert scalar.converged == batch.converged
-        np.testing.assert_array_equal(scalar.final_prices, batch.final_prices)
-        np.testing.assert_array_equal(scalar.excess_demand, batch.excess_demand)
-        assert scalar.final_demands.keys() == batch.final_demands.keys()
-        for bidder, demand in scalar.final_demands.items():
-            np.testing.assert_array_equal(demand, batch.final_demands[bidder])
-        for rs, rb in zip(scalar.rounds, batch.rounds):
-            np.testing.assert_array_equal(rs.prices, rb.prices)
-            np.testing.assert_array_equal(rs.excess_demand, rb.excess_demand)
-            assert rs.active_bidders == rb.active_bidders
-            assert rs.bidder_demands.keys() == rb.bidder_demands.keys()
-            for bidder, demand in rs.bidder_demands.items():
-                np.testing.assert_array_equal(demand, rb.bidder_demands[bidder])
-
-    def test_competing_buyers(self, pool_index):
-        bids = [
-            Bid.buy(f"t{i}", pool_index, [{"alpha/cpu": 30}], max_payment=100.0 * (i + 1))
-            for i in range(6)
-        ]
-        scalar, batch = self.run_both(pool_index, bids)
-        self.assert_identical(scalar, batch)
-
-    def test_buyers_sellers_traders(self, pool_index, rng):
-        bids = mixed_bids(pool_index, rng)
-        supply = np.full(len(pool_index), 25.0)
-        scalar, batch = self.run_both(pool_index, bids, supply=supply)
-        self.assert_identical(scalar, batch)
-
-    def test_multi_bundle_xor_bids(self, pool_index):
-        bids = [
-            Bid.buy(
-                f"t{i}",
-                pool_index,
-                [{"alpha/cpu": 20, "alpha/ram": 80}, {"beta/cpu": 20, "beta/ram": 80}],
-                max_payment=400.0 + 100.0 * i,
-            )
-            for i in range(8)
-        ]
-        scalar, batch = self.run_both(pool_index, bids)
-        self.assert_identical(scalar, batch)
+# NOTE: the scalar/batch trace-equivalence tests that used to live here moved
+# to tests/core/test_engine_equivalence.py, which runs the same harness across
+# all three engines (scalar, batch, sharded) and over every catalog preset.

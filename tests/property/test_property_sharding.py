@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for the pool-sharded auction engine.
+
+The sharded engine's correctness argument has three legs, each pinned here
+over randomly generated bid populations:
+
+* the shard planner produces a true partition — every pool and every bid
+  lands in exactly one shard, and a bid's shard contains every pool the bid
+  references (so no price a shard discovers can depend on another shard);
+* the merged round traces are invariant to how the work is parallelised —
+  any ``shard_workers`` count produces the same bytes as the batch engine;
+* degenerate inputs (all bids coupled through one pool, a single-pool
+  index) collapse to fewer than two effective shards and fall back to the
+  plain batch loop.
+
+Quantities and limits are drawn as integers scaled to floats: the
+equivalence guarantee is qualified on knife-edge cost ties (see
+``repro.core.batch``), and hypothesis's boundary-seeking would otherwise
+manufacture exactly those degenerate instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.pools import PoolIndex, ResourcePool
+from repro.cluster.resources import ResourceType
+from repro.core.batch import BatchDemandEngine
+from repro.core.bids import Bid
+from repro.core.clock_auction import AscendingClockAuction, AuctionConfig
+
+# A fixed three-cluster index so hypothesis explores bid space, not fleet
+# space; three clusters x two dimensions leaves room for up to three shards.
+_POOLS = PoolIndex(
+    [
+        ResourcePool(cluster="c0", rtype=ResourceType.CPU, capacity=1_000.0, unit_cost=10.0, utilization=0.9),
+        ResourcePool(cluster="c0", rtype=ResourceType.RAM, capacity=4_000.0, unit_cost=2.0, utilization=0.85),
+        ResourcePool(cluster="c1", rtype=ResourceType.CPU, capacity=1_000.0, unit_cost=10.0, utilization=0.5),
+        ResourcePool(cluster="c1", rtype=ResourceType.RAM, capacity=4_000.0, unit_cost=2.0, utilization=0.45),
+        ResourcePool(cluster="c2", rtype=ResourceType.CPU, capacity=1_000.0, unit_cost=10.0, utilization=0.3),
+        ResourcePool(cluster="c2", rtype=ResourceType.RAM, capacity=4_000.0, unit_cost=2.0, utilization=0.25),
+    ]
+)
+_CLUSTERS = ("c0", "c1", "c2")
+
+
+@st.composite
+def clustered_bids(draw, max_bidders: int = 12):
+    """Bids that each stay inside one cluster (shardable by construction)."""
+    count = draw(st.integers(min_value=1, max_value=max_bidders))
+    bids = []
+    for i in range(count):
+        cluster = draw(st.sampled_from(_CLUSTERS))
+        alternatives = draw(st.integers(min_value=1, max_value=2))
+        bundles = []
+        for _ in range(alternatives):
+            cpu = float(draw(st.integers(min_value=1, max_value=300)))
+            ram = float(draw(st.integers(min_value=0, max_value=1_200)))
+            bundles.append({f"{cluster}/cpu": cpu, f"{cluster}/ram": ram})
+        limit = float(draw(st.integers(min_value=0, max_value=20_000)))
+        bids.append(Bid.buy(f"bidder-{i}", _POOLS, bundles, max_payment=limit))
+    return bids
+
+
+@st.composite
+def coupled_bids(draw, max_bidders: int = 8):
+    """Bids that all reference ``c0/cpu``, coupling every touched pool."""
+    count = draw(st.integers(min_value=1, max_value=max_bidders))
+    bids = []
+    for i in range(count):
+        cluster = draw(st.sampled_from(_CLUSTERS))
+        bundle = {
+            "c0/cpu": float(draw(st.integers(min_value=1, max_value=100))),
+            f"{cluster}/ram": float(draw(st.integers(min_value=1, max_value=500))),
+        }
+        limit = float(draw(st.integers(min_value=0, max_value=20_000)))
+        bids.append(Bid.buy(f"bidder-{i}", _POOLS, bundles=[bundle], max_payment=limit))
+    return bids
+
+
+def _run(bids, engine, *, shard_workers=None):
+    auction = AscendingClockAuction(
+        _POOLS,
+        bids,
+        reserve_prices=np.ones(len(_POOLS)),
+        supply=_POOLS.available() * 0.9,
+        config=AuctionConfig(
+            engine=engine, record_bidder_demands=True, shard_workers=shard_workers
+        ),
+    )
+    return auction, auction.run()
+
+
+def _outcome_bytes(outcome):
+    """A byte-level fingerprint of an auction outcome including its trace."""
+    parts = [
+        outcome.final_prices.tobytes(),
+        outcome.excess_demand.tobytes(),
+        repr(sorted(outcome.final_demands)).encode(),
+    ]
+    for bidder in sorted(outcome.final_demands):
+        parts.append(outcome.final_demands[bidder].tobytes())
+    for round_state in outcome.rounds:
+        parts.append(round_state.prices.tobytes())
+        parts.append(round_state.excess_demand.tobytes())
+        parts.append(str(round_state.active_bidders).encode())
+        for bidder in sorted(round_state.bidder_demands):
+            parts.append(round_state.bidder_demands[bidder].tobytes())
+    return b"|".join(parts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(bids=clustered_bids())
+def test_planner_is_a_true_partition(bids):
+    plan = BatchDemandEngine(_POOLS, bids).plan_shards()
+    all_pools = [p for group in plan.pool_groups for p in group]
+    assert sorted(all_pools) == list(range(len(_POOLS)))
+    assert len(set(all_pools)) == len(all_pools)
+    all_bids = [b for group in plan.bid_groups for b in group]
+    assert sorted(all_bids) == list(range(len(bids)))
+    assert len(set(all_bids)) == len(all_bids)
+    # Every bid's referenced pools are contained in its own shard.
+    for pool_group, bid_group in zip(plan.pool_groups, plan.bid_groups):
+        pool_set = set(pool_group)
+        for b in bid_group:
+            referenced = set(np.flatnonzero(np.any(bids[b].bundles.matrix != 0, axis=0)))
+            assert referenced <= pool_set, (b, referenced, pool_set)
+
+
+@settings(max_examples=20, deadline=None)
+@given(bids=clustered_bids(), workers=st.sampled_from([None, 1, 2, 3]))
+def test_merged_trace_invariant_to_workers_and_identical_to_batch(bids, workers):
+    _, batch_outcome = _run(bids, "batch")
+    auction, sharded_outcome = _run(bids, "sharded", shard_workers=workers)
+    assert sharded_outcome.round_count == batch_outcome.round_count
+    assert _outcome_bytes(sharded_outcome) == _outcome_bytes(batch_outcome)
+    # The plan covered every bid whether or not the engine fell back.
+    assert auction.shard_plan is not None
+    assert sum(len(g) for g in auction.shard_plan.bid_groups) == len(bids)
+
+
+@settings(max_examples=20, deadline=None)
+@given(bids=coupled_bids())
+def test_all_coupled_bids_fall_back_to_batch(bids):
+    auction, sharded_outcome = _run(bids, "sharded")
+    assert auction.shard_plan.effective_shards == 1
+    assert auction.sharded_fallback is True
+    assert auction.shard_stats["fallback"] is True
+    _, batch_outcome = _run(bids, "batch")
+    assert _outcome_bytes(sharded_outcome) == _outcome_bytes(batch_outcome)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    quantity=st.integers(min_value=1, max_value=100),
+    limit=st.integers(min_value=0, max_value=5_000),
+)
+def test_single_pool_index_falls_back(quantity, limit):
+    index = PoolIndex(
+        [ResourcePool(cluster="solo", rtype=ResourceType.CPU, capacity=500.0, unit_cost=5.0, utilization=0.5)]
+    )
+    bids = [
+        Bid.buy(f"t{i}", index, [{"solo/cpu": float(quantity)}], max_payment=float(limit))
+        for i in range(3)
+    ]
+    auction = AscendingClockAuction(
+        index,
+        bids,
+        reserve_prices=np.ones(1),
+        supply=index.available(),
+        config=AuctionConfig(engine="sharded"),
+    )
+    outcome = auction.run()
+    assert auction.sharded_fallback is True
+    assert outcome.converged

@@ -45,7 +45,10 @@ class TestList:
     def test_tag_filter(self, capsys):
         assert main(["list", "--tag", "stress", "--json"]) == 0
         rows = json.loads(capsys.readouterr().out)
-        assert [row["name"] for row in rows] == ["10k-bidder-stress"]
+        assert sorted(row["name"] for row in rows) == [
+            "100k-bidder-stress",
+            "10k-bidder-stress",
+        ]
 
 
 class TestRun:

@@ -128,7 +128,8 @@ class TestLongestJobFirst:
         specs = [get_scenario(name) for name in scenario_names()]
         order = longest_job_first(specs)
         names = [specs[i].name for i in order]
-        assert names.index("10k-bidder-stress") == 0  # heaviest scenario leads
+        assert names.index("100k-bidder-stress") == 0  # heaviest scenario leads
+        assert names.index("10k-bidder-stress") == 1
         assert names.index("10k-bidder-stress") < names.index("smoke")
         assert names[-1] == "smoke"  # lightest scenario trails
 
