@@ -22,7 +22,6 @@ to the smoke-tier ``10k-bidder-stress`` preset — that skips the recording.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -30,7 +29,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from conftest import print_section
+from conftest import print_section, record_bench_entry
 
 from repro.cluster.pools import PoolIndex, ResourcePool
 from repro.cluster.resources import ResourceType
@@ -61,28 +60,6 @@ STRESS_WALL_CEILING_SECONDS = 240.0 if FULL_SCALE else 120.0
 #: to win on; single-core runners still check identity and the ceiling).
 REQUIRED_SHARD_SPEEDUP = 2.0
 SHARD_SPEEDUP_MIN_CORES = 4
-
-
-def record_bench_entry(**payload) -> None:
-    """Merge measurement keys into today's ``BENCH_batch_engine.json`` entry.
-
-    At most one entry per day: repeated runs update today's entry instead of
-    bloating the file, and the two tests in this module merge their keys
-    (``points``, ``sharded_stress``) into the same entry instead of
-    clobbering each other.
-    """
-    history = []
-    if BENCH_JSON.exists():
-        history = json.loads(BENCH_JSON.read_text())
-    stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-    if history and history[-1]["recorded_at"][:10] == stamp[:10]:
-        entry = history[-1]
-        entry["recorded_at"] = stamp
-    else:
-        entry = {"recorded_at": stamp}
-        history.append(entry)
-    entry.update(payload)
-    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def build_index(clusters: int) -> PoolIndex:
@@ -176,7 +153,7 @@ def test_batch_engine_round_collection_speedup(benchmark):
 
     # Record the speedup trajectory across PRs (full scale only).
     if FULL_SCALE:
-        record_bench_entry(points=rows)
+        record_bench_entry(BENCH_JSON, merge=True, points=rows)
 
     # The acceptance bar: >= 5x on the 1k-bidder round-collection path, and
     # the batch path must keep winning at the scale it unlocks.
@@ -275,7 +252,7 @@ def test_sharded_stress_auction(benchmark):
     )
 
     if FULL_SCALE:
-        record_bench_entry(sharded_stress=row)
+        record_bench_entry(BENCH_JSON, merge=True, sharded_stress=row)
 
     assert results["sharded"]["wall"] <= STRESS_WALL_CEILING_SECONDS
     if FULL_SCALE and cores >= SHARD_SPEEDUP_MIN_CORES:

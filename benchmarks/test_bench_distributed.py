@@ -27,14 +27,13 @@ measures interpreter noise, not the fabric).
 
 from __future__ import annotations
 
-import json
 import os
 import subprocess
 import sys
 import time
 from pathlib import Path
 
-from conftest import print_section
+from conftest import print_section, record_bench_entry
 
 from repro.exec import RemoteBackend
 from repro.mechanisms import mechanism_names
@@ -172,27 +171,18 @@ def test_remote_fabric_overhead_and_scaling(benchmark):
           f"scaling {scaling:.2f}x (cores: {cores})")
 
     if FULL_SCALE:
-        history = []
-        if BENCH_JSON.exists():
-            history = json.loads(BENCH_JSON.read_text())
-        stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-        if history and history[-1]["recorded_at"][:10] == stamp[:10]:
-            history.pop()
-        history.append(
-            {
-                "recorded_at": stamp,
-                "sweep": "smoke x all mechanisms",
-                "cpu_count": cores,
-                "process_2w_seconds": rows["process_2w"],
-                "remote_2w_seconds": rows["remote_2w"],
-                "overhead": overhead,
-                "remote_1w_replicates_seconds": rows["remote_1w_reps"],
-                "remote_2w_replicates_seconds": rows["remote_2w_reps"],
-                "scaling_2w_over_1w": scaling,
-                "reports_identical": True,
-            }
+        record_bench_entry(
+            BENCH_JSON,
+            sweep="smoke x all mechanisms",
+            cpu_count=cores,
+            process_2w_seconds=rows["process_2w"],
+            remote_2w_seconds=rows["remote_2w"],
+            overhead=overhead,
+            remote_1w_replicates_seconds=rows["remote_1w_reps"],
+            remote_2w_replicates_seconds=rows["remote_2w_reps"],
+            scaling_2w_over_1w=scaling,
+            reports_identical=True,
         )
-        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
 
         assert overhead <= MAX_OVERHEAD, (
             f"remote backend cost {overhead:.2f}x the process pool on the smoke "

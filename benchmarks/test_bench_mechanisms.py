@@ -20,12 +20,11 @@ noise, not the mechanisms.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
-from conftest import print_section
+from conftest import print_section, record_bench_entry
 
 from repro.mechanisms import baseline_mechanism_names, get_mechanism, mechanism_names
 from repro.simulation.catalog import get_scenario
@@ -92,25 +91,16 @@ def test_baselines_run_5x_faster_than_the_market(benchmark):
           f"over {len(build_seconds)} builds")
 
     if FULL_SCALE:
-        history = []
-        if BENCH_JSON.exists():
-            history = json.loads(BENCH_JSON.read_text())
-        stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-        if history and history[-1]["recorded_at"][:10] == stamp[:10]:
-            history.pop()
-        history.append(
-            {
-                "recorded_at": stamp,
-                "scenario": "paper-reference",
-                "build_seconds": best_build,
-                "seconds": {name: seconds[name] for name in mechanism_names()},
-                "speedup_vs_market": {
-                    name: (market / seconds[name]) if seconds[name] > 0 else None
-                    for name in baseline_mechanism_names()
-                },
-            }
+        record_bench_entry(
+            BENCH_JSON,
+            scenario="paper-reference",
+            build_seconds=best_build,
+            seconds={name: seconds[name] for name in mechanism_names()},
+            speedup_vs_market={
+                name: (market / seconds[name]) if seconds[name] > 0 else None
+                for name in baseline_mechanism_names()
+            },
         )
-        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
 
         assert best_build <= MAX_BUILD_SECONDS, (
             f"paper-scale build_scenario took {best_build:.3f}s (bar: "

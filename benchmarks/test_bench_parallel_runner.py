@@ -20,12 +20,11 @@ boxes).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
-from conftest import print_section
+from conftest import print_section, record_bench_entry
 
 from repro.simulation.catalog import default_sweep_names, get_scenario
 from repro.simulation.runner import ParallelRunner
@@ -101,25 +100,16 @@ def test_parallel_sweep_is_deterministic_and_faster(benchmark):
     )
 
     if FULL_SCALE:
-        history = []
-        if BENCH_JSON.exists():
-            history = json.loads(BENCH_JSON.read_text())
-        stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-        if history and history[-1]["recorded_at"][:10] == stamp[:10]:
-            history.pop()
-        history.append(
-            {
-                "recorded_at": stamp,
-                "scenarios": scenario_names,
-                "workers": POOL_WORKERS,
-                "cpu_count": os.cpu_count(),
-                "serial_seconds": rows["serial"],
-                "parallel_seconds": rows["parallel"],
-                "speedup": speedup,
-                "reports_identical": True,
-            }
+        record_bench_entry(
+            BENCH_JSON,
+            scenarios=scenario_names,
+            workers=POOL_WORKERS,
+            cpu_count=os.cpu_count(),
+            serial_seconds=rows["serial"],
+            parallel_seconds=rows["parallel"],
+            speedup=speedup,
+            reports_identical=True,
         )
-        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
 
     if enforce_speedup:
         assert speedup >= REQUIRED_SPEEDUP, (

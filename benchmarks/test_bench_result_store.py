@@ -22,12 +22,11 @@ the assertion would measure the machine's disk latency, not the store.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
-from conftest import print_section
+from conftest import print_section, record_bench_entry
 
 from repro.results.store import ResultStore
 from repro.simulation.runner import ParallelRunner
@@ -100,23 +99,14 @@ def test_store_write_overhead_under_5_percent(benchmark, bench_config, tmp_path)
     )
 
     if FULL_SCALE:
-        history = []
-        if BENCH_JSON.exists():
-            history = json.loads(BENCH_JSON.read_text())
-        stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-        if history and history[-1]["recorded_at"][:10] == stamp[:10]:
-            history.pop()
-        history.append(
-            {
-                "recorded_at": stamp,
-                "scenario": spec.name,
-                "replicates": REPLICATES,
-                "sweep_seconds": rows["wall"],
-                "store_write_seconds": rows["writes"],
-                "overhead_fraction": rows["overhead"],
-            }
+        record_bench_entry(
+            BENCH_JSON,
+            scenario=spec.name,
+            replicates=REPLICATES,
+            sweep_seconds=rows["wall"],
+            store_write_seconds=rows["writes"],
+            overhead_fraction=rows["overhead"],
         )
-        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
 
         assert rows["overhead"] < MAX_OVERHEAD, (
             f"store writes cost {rows['overhead'] * 100:.1f}% of sweep wall time "

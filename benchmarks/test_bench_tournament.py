@@ -15,13 +15,12 @@ report bytes must match a 2-worker process-pool run of the same tournament.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from dataclasses import replace
 from pathlib import Path
 
-from conftest import print_section
+from conftest import print_section, record_bench_entry
 
 from repro.agents.tournament import TournamentEngine
 from repro.simulation.catalog import get_tournament
@@ -68,21 +67,12 @@ def test_tournament_generations_per_second(benchmark):
     )
 
     if FULL_SCALE:
-        history = []
-        if BENCH_JSON.exists():
-            history = json.loads(BENCH_JSON.read_text())
-        stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-        if history and history[-1]["recorded_at"][:10] == stamp[:10]:
-            history.pop()
-        history.append(
-            {
-                "recorded_at": stamp,
-                "tournament": cfg.name,
-                "generations": cfg.generations,
-                "replicates": cfg.replicates,
-                "serial_seconds": rows["seconds"],
-                "generations_per_second": generations_per_second,
-                "reports_identical": True,
-            }
+        record_bench_entry(
+            BENCH_JSON,
+            tournament=cfg.name,
+            generations=cfg.generations,
+            replicates=cfg.replicates,
+            serial_seconds=rows["seconds"],
+            generations_per_second=generations_per_second,
+            reports_identical=True,
         )
-        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")

@@ -16,18 +16,23 @@ Key properties implemented/verified here:
 * the full round-by-round trace (prices, excess demand, active bidders) is
   recorded for analysis and for the Figure 1 / Algorithm 1 reproduction.
 
-Demand collection runs on one of three interchangeable engines selected by
+Demand collection runs on one of four interchangeable engines selected by
 :attr:`AuctionConfig.engine`: the scalar per-proxy loop (the reference
-implementation), the vectorized :class:`repro.core.batch.BatchDemandEngine`,
+implementation); the vectorized :class:`repro.core.batch.BatchDemandEngine`,
 which evaluates all bidders as dense matrix operations and scales to tens of
-thousands of bidders, or the *sharded* engine, which partitions the pool
-index into independent shards (pools no bid couples across, discovered from
-the stacked bid matrix), runs price discovery per shard on restricted batch
-engines — optionally on worker threads — and merges the per-shard round
-traces back into the canonical global round sequence.  All engines honor the
-same round-trace contract and produce identical :class:`AuctionRound` /
-:class:`AuctionOutcome` objects; ``docs/sharding.md`` spells out why the
-sharded merge is exact.
+thousands of bidders; the *incremental* engine
+(:class:`repro.core.batch.IncrementalDemandState`), which exploits the
+clock's monotone prices to re-evaluate each round only the bundle rows
+touching pools whose prices moved and to permanently retire dropped-out
+buyers; and the *sharded* engine, which partitions the pool index into
+independent shards (pools no bid couples across, discovered from the stacked
+bid matrix), runs price discovery per shard on restricted engines — each
+using the same delta collection, optionally on worker threads — and merges
+the per-shard round traces back into the canonical global round sequence.
+All engines honor the same round-trace contract and produce identical
+:class:`AuctionRound` / :class:`AuctionOutcome` objects; ``docs/engines.md``
+has the full matrix and ``docs/sharding.md`` spells out why the sharded
+merge is exact.
 """
 
 from __future__ import annotations
@@ -40,13 +45,18 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.cluster.pools import PoolIndex
-from repro.core.batch import BatchDemandEngine, ShardPlan
+from repro.core.batch import (
+    BatchDemandEngine,
+    BatchResponse,
+    IncrementalDemandState,
+    ShardPlan,
+)
 from repro.core.bids import Bid, BidderClass, classify_bidder
 from repro.core.increment import IncrementPolicy, default_increment
 from repro.core.proxy import BidderProxy
 
 #: Valid values of :attr:`AuctionConfig.engine`.
-ENGINES = ("auto", "scalar", "batch", "sharded")
+ENGINES = ("auto", "scalar", "batch", "incremental", "sharded")
 
 #: Below this many bid-carrying shards the sharded engine falls back to the
 #: plain batch loop: with at most one shard doing price discovery there is
@@ -84,12 +94,15 @@ class AuctionConfig:
         Which demand-collection path to use per round: ``"scalar"`` walks the
         per-bidder proxies, ``"batch"`` evaluates all bidders as dense matrix
         operations (:class:`repro.core.batch.BatchDemandEngine`),
-        ``"sharded"`` runs price discovery per independent pool shard and
-        merges the traces (falling back to batch when fewer than
-        :data:`SHARD_MIN_EFFECTIVE` shards carry bids), and ``"auto"``
-        (default) picks batch once the auction has at least
-        :data:`BATCH_AUTO_THRESHOLD` bidders.  All engines produce identical
-        round traces.
+        ``"incremental"`` re-evaluates each round only the bundle rows
+        touching pools whose prices moved and retires dropped-out buyers
+        permanently (:class:`repro.core.batch.IncrementalDemandState`),
+        ``"sharded"`` runs price discovery per independent pool shard —
+        each shard collecting incrementally — and merges the traces (falling
+        back to batch when fewer than :data:`SHARD_MIN_EFFECTIVE` shards
+        carry bids), and ``"auto"`` (default) picks batch once the auction
+        has at least :data:`BATCH_AUTO_THRESHOLD` bidders.  All engines
+        produce identical round traces.
     shard_workers:
         Worker threads for the sharded engine's per-shard price discovery
         (``None`` = one per CPU, capped at the shard count).  Any value
@@ -103,7 +116,7 @@ class AuctionConfig:
     >>> AuctionConfig(engine="turbo")
     Traceback (most recent call last):
         ...
-    ValueError: engine must be one of ('auto', 'scalar', 'batch', 'sharded'), got 'turbo'
+    ValueError: engine must be one of ('auto', 'scalar', 'batch', 'incremental', 'sharded'), got 'turbo'
     """
 
     max_rounds: int = 10_000
@@ -342,6 +355,12 @@ class AscendingClockAuction:
             self.engine = self.config.engine
         #: Lazily built batch engine (only when the batch path is active).
         self._batch: BatchDemandEngine | None = None
+        #: The last :class:`BatchResponse` collected (batch engine only);
+        #: backs :meth:`_last_demand_map` without re-materialising demands.
+        self._last_batch_response: BatchResponse | None = None
+        #: The delta-evaluation state of the current incremental run; a fresh
+        #: one is opened per ``run`` (the kernel requires monotone prices).
+        self._inc_state: IncrementalDemandState | None = None
         #: The shard partition planned by the sharded engine (set by ``run``).
         self.shard_plan: ShardPlan | None = None
         #: ``True`` when ``engine="sharded"`` found fewer than
@@ -357,6 +376,15 @@ class AscendingClockAuction:
         #: round counts); ``None`` until a sharded ``run`` executes.
         self.shard_stats: dict[str, object] | None = None
 
+    @property
+    def incremental_stats(self) -> dict[str, object] | None:
+        """Delta-kernel facts (rows re-evaluated per round, retirements) from
+        the last incremental run; ``None`` for other engines.  Diagnostic
+        only — never part of the canonical report."""
+        if self._inc_state is None:
+            return None
+        return self._inc_state.stats()
+
     # -- analysis helpers -----------------------------------------------------
     def bidder_classes(self) -> dict[str, BidderClass]:
         """Classification of every bidder (buyers/sellers/traders)."""
@@ -367,36 +395,74 @@ class AscendingClockAuction:
         return any(cls is BidderClass.TRADER for cls in self.bidder_classes().values())
 
     # -- core loop --------------------------------------------------------------
-    def _collect(self, prices: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray], int]:
-        """One 'collect bids' step: individual demands, their sum, active count.
+    def _collect(self, prices: np.ndarray) -> tuple[np.ndarray, int]:
+        """One 'collect bids' step: total demand and the active-bidder count.
 
-        Dispatches to the scalar proxy loop or the vectorized batch engine
-        according to the resolved :attr:`engine`; both return the same values.
-        (The sharded engine's fallback path also lands here, on batch.)
+        Dispatches to the scalar proxy loop, the vectorized batch engine, or
+        the incremental delta kernel according to the resolved :attr:`engine`;
+        all return the same values.  (The sharded engine's fallback path also
+        lands here, on batch.)  Per-bidder demand maps are *not* materialised
+        here — at stress scale a 100k-entry dict per round is pure overhead
+        when nobody records it; callers that need the individual demands
+        (round recording, the cleared round's final demands) ask
+        :meth:`_last_demand_map` afterwards.
         """
         if self.engine == "scalar":
             return self._collect_scalar(prices)
+        if self.engine == "incremental":
+            return self._collect_incremental(prices)
         return self._collect_batch(prices)
 
-    def _collect_scalar(self, prices: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray], int]:
+    def _collect_scalar(self, prices: np.ndarray) -> tuple[np.ndarray, int]:
         """Reference path: evaluate each :class:`BidderProxy` in turn."""
         total = np.zeros(len(self.index), dtype=float)
-        demands: dict[str, np.ndarray] = {}
         active = 0
         for proxy in self.proxies:
             decision = proxy.respond(prices)
-            demands[proxy.bidder] = decision.quantities
             total += decision.quantities
             if decision.active:
                 active += 1
-        return total, demands, active
+        return total, active
 
-    def _collect_batch(self, prices: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray], int]:
+    def _collect_batch(self, prices: np.ndarray) -> tuple[np.ndarray, int]:
         """Vectorized path: evaluate every bidder in one shot."""
         if self._batch is None:
             self._batch = BatchDemandEngine(self.index, self.bids)
         response = self._batch.respond_all(prices)
-        return response.total, response.demand_map(), response.active_count
+        self._last_batch_response = response
+        return response.total, response.active_count
+
+    def _collect_incremental(self, prices: np.ndarray) -> tuple[np.ndarray, int]:
+        """Delta path: re-evaluate only rows touching pools whose price moved."""
+        if self._inc_state is None:
+            if self._batch is None:
+                self._batch = BatchDemandEngine(self.index, self.bids)
+            self._inc_state = self._batch.incremental()
+        self._inc_state.advance(prices)
+        return self._inc_state.total, self._inc_state.active_count
+
+    def _last_demand_map(self) -> dict[str, np.ndarray]:
+        """Per-bidder demand snapshots from the most recent :meth:`_collect`.
+
+        Ownership contract: the returned dict and its arrays are **caller
+        owned** — no later round, engine call, or other caller mutates them —
+        so round recording can store them without defensive copies.  The
+        scalar path hands out the fresh arrays its proxies built for this
+        round; the batch path hands out views into this round's response
+        (every round builds new response arrays); the incremental path copies
+        out of its live buffers (which the next round mutates in place).
+        """
+        if self.engine == "scalar":
+            return {
+                proxy.bidder: proxy.last_decision.quantities
+                for proxy in self.proxies
+                if proxy.last_decision is not None
+            }
+        if self.engine == "incremental":
+            assert self._inc_state is not None
+            return self._inc_state.demand_map()
+        assert self._last_batch_response is not None
+        return self._last_batch_response.demand_map()
 
     def _cleared(self, excess: np.ndarray) -> bool:
         """Clearing test: every pool's excess demand is <= tolerance (scaled)."""
@@ -418,14 +484,17 @@ class AscendingClockAuction:
         return self._run_rounds()
 
     def _run_rounds(self) -> AuctionOutcome:
-        """The sequential clock loop (scalar and batch engines)."""
+        """The sequential clock loop (scalar, batch, and incremental engines)."""
         cfg = self.config
         prices = self.reserve_prices.copy()
         rounds: list[AuctionRound] = []
         stalled = 0
+        # Each run restarts the clock at the reserve prices, so the previous
+        # run's delta state (which requires monotone prices) cannot carry over.
+        self._inc_state = None
 
         for t in range(cfg.max_rounds):
-            total_demand, demands, active = self._collect(prices)
+            total_demand, active = self._collect(prices)
             excess = total_demand - self.supply
             rounds.append(
                 AuctionRound(
@@ -433,7 +502,9 @@ class AscendingClockAuction:
                     prices=prices.copy(),
                     excess_demand=excess.copy(),
                     active_bidders=active,
-                    bidder_demands={k: v.copy() for k, v in demands.items()}
+                    # Caller-owned snapshots straight from the engine — see
+                    # the _last_demand_map ownership contract.
+                    bidder_demands=self._last_demand_map()
                     if cfg.record_bidder_demands
                     else None,
                 )
@@ -443,7 +514,7 @@ class AscendingClockAuction:
                     index=self.index,
                     converged=True,
                     final_prices=prices,
-                    final_demands=demands,
+                    final_demands=self._last_demand_map(),
                     excess_demand=excess,
                     rounds=rounds,
                     reserve_prices=self.reserve_prices.copy(),
@@ -491,6 +562,11 @@ class AscendingClockAuction:
         cfg = self.config
         pools_arr = np.asarray(pools, dtype=np.intp)
         sub = self._batch.restrict(bid_positions)
+        # Delta collection inside the shard: prices are monotone within the
+        # shard's own clock exactly as in the global loop, so the restricted
+        # engine's incremental state re-evaluates only the rows touching
+        # pools this shard actually moved (off-shard pools never move here).
+        state = sub.incremental()
         # Full-length working vector: shard pools evolve, the rest sit at the
         # reserve prices.  Every bid in the shard is structurally zero outside
         # the shard's pools, so the off-shard entries never influence costs.
@@ -499,11 +575,9 @@ class AscendingClockAuction:
         scale_s = np.maximum(self.index.capacities(), 1.0)[pools_arr]
         tol = cfg.tolerance
         rounds: list[_ShardRound] = []
-        final_quantities = np.zeros((0, len(self.index)), dtype=float)
         for _ in range(cfg.max_rounds):
-            response = sub.respond_all(prices)
-            final_quantities = response.quantities
-            excess_s = response.total[pools_arr] - supply_s
+            state.advance(prices)
+            excess_s = state.total[pools_arr] - supply_s
             cleared = bool(np.all(excess_s <= tol * scale_s + tol))
             excess_full = np.zeros(len(self.index), dtype=float)
             excess_full[pools_arr] = excess_s
@@ -519,15 +593,19 @@ class AscendingClockAuction:
                 _ShardRound(
                     prices=prices[pools_arr].copy(),
                     excess=excess_s,
-                    active=response.active_count,
+                    active=state.active_count,
                     cleared=cleared,
                     moved=moved,
-                    quantities=response.quantities if cfg.record_bidder_demands else None,
+                    # The state's buffers mutate in place next round, so the
+                    # recorded trace takes a snapshot.
+                    quantities=state.quantities.copy() if cfg.record_bidder_demands else None,
                 )
             )
             if not moved:
                 break
             prices[pools_arr] = prices[pools_arr] + step_s
+        # The loop is over: the state's buffers are final and safe to borrow.
+        final_quantities = state.quantities
         return _ShardTrace(
             shard_index=shard_index,
             pools=pools_arr,

@@ -54,6 +54,9 @@ class ExchangeResult:
     operator_supply: np.ndarray
     #: Shard partition / worker facts when the sharded engine ran (else None).
     shard_stats: dict[str, object] | None = None
+    #: Delta-kernel facts (rows re-evaluated per round, retirements) when the
+    #: incremental engine ran (else None).  Diagnostic only, never canonical.
+    incremental_stats: dict[str, object] | None = None
 
     @property
     def final_prices(self) -> PriceTable:
@@ -222,6 +225,7 @@ class CombinatorialExchange:
             constraints=constraints,
             operator_supply=supply,
             shard_stats=auction.shard_stats,
+            incremental_stats=auction.incremental_stats,
         )
 
     def preliminary_prices(self, bids: Sequence[Bid]) -> PriceTable:

@@ -24,9 +24,9 @@ Catalog presets
                           payers, deep budgets.
 ``idle-fleet-migration``  Mostly idle fleet and relocator-heavy teams; load
                           should drain out of the few busy clusters.
-``10k-bidder-stress``     10 000 bidders on the batch demand engine — the
-                          smoke-tier stress scale (tagged ``stress``; excluded
-                          from the default sweep).
+``10k-bidder-stress``     10 000 bidders on the incremental demand engine —
+                          the smoke-tier stress scale (tagged ``stress``;
+                          excluded from the default sweep).
 ``100k-bidder-stress``    100 000 bidders on the sharded demand engine — the
                           full stress scale the benchmarks track (tagged
                           ``stress``; excluded from the default sweep).
@@ -358,7 +358,7 @@ register_scenario(
 register_scenario(
     ScenarioSpec(
         name="10k-bidder-stress",
-        description="10 000 bidders on the batch engine (smoke-tier stress scale)",
+        description="10 000 bidders on the incremental engine (smoke-tier stress scale)",
         config=ScenarioConfig(
             fleet=FleetSpec(cluster_count=34, machines_range=(100, 400)),
             population=PopulationSpec(
@@ -366,7 +366,7 @@ register_scenario(
                 budget_per_team=20_000.0,
                 demand_scale=0.001,
             ),
-            auction_engine="batch",
+            auction_engine="incremental",
             seed=2009,
         ),
         auctions=2,

@@ -60,6 +60,9 @@ class AuctionPeriodResult:
     #: (``None`` for scalar/batch runs).  Diagnostic only — never part of
     #: the canonical report.
     shard_stats: dict[str, object] | None = None
+    #: Delta-kernel facts from the incremental auction engine (``None`` for
+    #: other engines).  Diagnostic only — never part of the canonical report.
+    incremental_stats: dict[str, object] | None = None
 
     @property
     def settlement(self) -> Settlement:
@@ -234,6 +237,7 @@ class MarketEconomySimulation:
             migration=migration_summary(trades),
             allocation=allocation,
             shard_stats=record.result.shard_stats,
+            incremental_stats=record.result.incremental_stats,
         )
         self.history.periods.append(period)
         return period

@@ -34,8 +34,8 @@ class ScenarioConfig:
     increment_cap_fraction: float = 0.10
     increment_alpha: float = 2.0
     #: Demand-collection engine for every auction in the scenario:
-    #: "auto" (default), "scalar", "batch", or "sharded" — see
-    #: :attr:`repro.core.clock_auction.AuctionConfig.engine`.
+    #: "auto" (default), "scalar", "batch", "incremental", or "sharded" —
+    #: see :attr:`repro.core.clock_auction.AuctionConfig.engine`.
     auction_engine: str = "auto"
     seed: int = 0
 

@@ -1,18 +1,23 @@
-"""Differential-equivalence harness across the three demand engines.
+"""Differential-equivalence harness across the four demand engines.
 
 The repo's correctness story for every scaling change is "same bytes": the
-scalar proxy loop is the reference implementation, and the batch and sharded
-engines must reproduce its canonical reports and full round traces exactly.
-This module is that guarantee as a reusable, parametrised harness:
+scalar proxy loop is the reference implementation, and the batch,
+incremental, and sharded engines must reproduce its canonical reports and
+full round traces exactly.  This module is that guarantee as a reusable,
+parametrised harness:
 
 * :func:`assert_engines_equivalent` runs one catalog preset end to end on
-  scalar, batch, and sharded and asserts byte-identical canonical reports
-  plus bitwise-identical per-auction round traces — it is applied to every
-  non-stress preset below and is what ``make equivalence`` runs in CI;
+  scalar, batch, incremental, and sharded and asserts byte-identical
+  canonical reports plus bitwise-identical per-auction round traces — it is
+  applied to every non-stress preset below and is what ``make equivalence``
+  runs in CI;
 * :class:`TestAuctionTraceEquivalence` is the auction-level harness (single
   auctions, hand-built populations) that used to live in
   ``test_batch_engine.py`` as scalar-vs-batch pairwise checks, now covering
-  all three engines;
+  all four engines;
+* :class:`TestDemandRecordOwnership` pins the ownership contract behind the
+  copy-free round recording: recorded demand arrays are caller-owned
+  snapshots that later rounds never mutate;
 * regression tests pin the round-0 drop-out demand recording and
   :class:`ConvergenceError` parity across engines.
 """
@@ -33,7 +38,7 @@ from repro.simulation.catalog import default_sweep_names, get_scenario
 from repro.simulation.economy import MarketEconomySimulation
 from repro.simulation.runner import ScenarioRunResult
 
-ENGINES = ("scalar", "batch", "sharded")
+ENGINES = ("scalar", "batch", "incremental", "sharded")
 
 
 def unit_reserve(pool_index, value=1.0):
@@ -109,7 +114,7 @@ def run_spec_with_traces(spec, engine):
 
 
 def assert_engines_equivalent(spec):
-    """Scalar, batch, and sharded produce byte-identical runs of ``spec``.
+    """Every engine produces byte-identical runs of ``spec``.
 
     Canonical reports are compared as sorted JSON bytes; the per-auction
     round traces (prices, excess demand, active-bidder counts, final
@@ -117,7 +122,7 @@ def assert_engines_equivalent(spec):
     """
     reference_payload, reference_outcomes = run_spec_with_traces(spec, "scalar")
     reference_bytes = json.dumps(reference_payload, sort_keys=True)
-    for engine in ("batch", "sharded"):
+    for engine in ("batch", "incremental", "sharded"):
         payload, outcomes = run_spec_with_traces(spec, engine)
         assert json.dumps(payload, sort_keys=True) == reference_bytes, (
             f"{spec.name}: canonical report differs between scalar and {engine}"
@@ -129,12 +134,12 @@ def assert_engines_equivalent(spec):
 
 @pytest.mark.parametrize("name", default_sweep_names())
 def test_preset_equivalent_across_engines(name):
-    """Every non-stress catalog preset clears identically on all three engines."""
+    """Every non-stress catalog preset clears identically on all four engines."""
     assert_engines_equivalent(get_scenario(name))
 
 
 class TestAuctionTraceEquivalence:
-    """Single-auction harness: hand-built populations, all three engines."""
+    """Single-auction harness: hand-built populations, all four engines."""
 
     def run_all(self, pool_index, bids, **kwargs):
         outcomes = {}
@@ -150,7 +155,7 @@ class TestAuctionTraceEquivalence:
         return outcomes
 
     def assert_identical(self, outcomes):
-        for engine in ("batch", "sharded"):
+        for engine in ("batch", "incremental", "sharded"):
             assert_outcomes_identical(outcomes["scalar"], outcomes[engine])
 
     def test_competing_buyers(self, pool_index):
@@ -196,13 +201,76 @@ class TestAuctionTraceEquivalence:
         self.assert_identical(outcomes)
 
 
+class TestDemandRecordOwnership:
+    """The ownership contract behind copy-free round recording.
+
+    ``_collect`` no longer materialises per-bidder demand dicts, and
+    ``_run_rounds`` no longer defensively copies what it records: the arrays
+    ``_last_demand_map`` hands out are caller-owned snapshots.  These tests
+    pin that contract — if an engine ever starts handing out views into
+    buffers it later mutates in place, the early rounds' records would
+    silently decay into copies of the final round.
+    """
+
+    def competing_bids(self, pool_index):
+        # Escalating budgets: bidders drop out over several rounds, so each
+        # round's demand vectors genuinely differ from the final round's.
+        return [
+            Bid.buy(f"t{i}", pool_index, [{"alpha/cpu": 30}], max_payment=40.0 * (i + 1))
+            for i in range(6)
+        ]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_recorded_rounds_survive_later_rounds(self, pool_index, engine):
+        bids = self.competing_bids(pool_index)
+        auction = AscendingClockAuction(
+            pool_index,
+            bids,
+            reserve_prices=unit_reserve(pool_index),
+            config=AuctionConfig(engine=engine, record_bidder_demands=True),
+        )
+        outcome = auction.run()
+        assert outcome.round_count >= 2, "population must drop out over several rounds"
+        # Re-announce each recorded round's prices on a fresh batch engine:
+        # the recorded demands must still hold those rounds' values, not the
+        # final round's (which they would if records aliased a live buffer).
+        from repro.core.batch import BatchDemandEngine
+
+        fresh = BatchDemandEngine(pool_index, bids)
+        for round_state in outcome.rounds:
+            expected = fresh.respond_all(round_state.prices).demand_map()
+            for bidder, demand in round_state.bidder_demands.items():
+                assert demand.tobytes() == expected[bidder].tobytes(), (
+                    engine,
+                    round_state.round_index,
+                    bidder,
+                )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_final_demands_are_stable_snapshots(self, pool_index, engine):
+        bids = self.competing_bids(pool_index)
+        auction = AscendingClockAuction(
+            pool_index,
+            bids,
+            reserve_prices=unit_reserve(pool_index),
+            config=AuctionConfig(engine=engine),
+        )
+        outcome = auction.run()
+        snapshot = {k: v.copy() for k, v in outcome.final_demands.items()}
+        # A later run on the same auction object must not corrupt the
+        # previously returned outcome's demands.
+        auction.run()
+        for bidder, demand in outcome.final_demands.items():
+            assert demand.tobytes() == snapshot[bidder].tobytes(), (engine, bidder)
+
+
 class TestRoundZeroDropoutDemands:
     """Regression: bidders that exit in round 0 must still be recorded.
 
     ``AuctionRound.bidder_demands`` (under ``record_bidder_demands``) must
     contain *every* bidder in every round — including bidders whose proxy
     drops out at the reserve prices, whose recorded demand is the zero
-    vector — identically on all three engines.
+    vector — identically on all four engines.
     """
 
     def test_round_zero_exit_recorded_by_every_engine(self, pool_index):
@@ -229,7 +297,7 @@ class TestRoundZeroDropoutDemands:
             assert not first.bidder_demands["out"].any(), engine
             for round_state in outcome.rounds:
                 assert set(round_state.bidder_demands) == {"rich", "out", "rich2"}, engine
-        for engine in ("batch", "sharded"):
+        for engine in ("batch", "incremental", "sharded"):
             assert_outcomes_identical(outcomes["scalar"], outcomes[engine])
 
 
@@ -265,7 +333,7 @@ class TestConvergenceErrorParity:
             with pytest.raises(ConvergenceError) as excinfo:
                 auction.run()
             messages[engine] = str(excinfo.value)
-        assert messages["scalar"] == messages["batch"] == messages["sharded"]
+        assert len(set(messages.values())) == 1, messages
         assert "did not clear within 5 rounds" in messages["scalar"]
 
     def test_max_rounds_parity_with_real_shards(self, pool_index):
@@ -289,7 +357,7 @@ class TestConvergenceErrorParity:
             messages[engine] = str(excinfo.value)
             if engine == "sharded":
                 assert auction.sharded_fallback is False
-        assert messages["scalar"] == messages["batch"] == messages["sharded"]
+        assert len(set(messages.values())) == 1, messages
         assert "did not clear within 5 rounds" in messages["scalar"]
 
     def test_stall_parity_with_real_shards(self, pool_index):
@@ -318,5 +386,5 @@ class TestConvergenceErrorParity:
             with pytest.raises(ConvergenceError) as excinfo:
                 auction.run()
             messages[engine] = str(excinfo.value)
-        assert messages["scalar"] == messages["batch"] == messages["sharded"]
+        assert len(set(messages.values())) == 1, messages
         assert "stalled" in messages["scalar"]

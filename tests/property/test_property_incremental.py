@@ -1,0 +1,256 @@
+"""Property-based tests (hypothesis) for the incremental demand kernel.
+
+The incremental engine's correctness argument has three legs, each pinned
+here over randomly generated bid populations and randomly generated monotone
+price paths (including zero-step rounds, where no pool moves at all):
+
+* delta evaluation is *bitwise* equal to a full re-evaluation: at every
+  round along the path, :meth:`IncrementalDemandState.respond_delta` must
+  reproduce exactly the quantities, totals, activity flags, chosen bundles,
+  and costs that a fresh :meth:`BatchDemandEngine.respond_all` computes at
+  the same prices;
+* retirement is permanent and sound: once a pure buyer drops out its rows
+  leave the active set for good (the retired mask only ever grows), while
+  sellers and traders are never retired — they may re-enter as prices rise;
+* the running total-demand vector, patched per changed pool, equals
+  ``np.add.reduce`` over all demand rows after every round.
+
+Quantities, prices, and limits are drawn as integers scaled to floats, so
+every bundle cost is exact in float64 and the bitwise claims are not
+confounded by the knife-edge ULP qualification documented in
+``repro.core.batch`` (which the catalog-preset equivalence harness covers
+for realistic float populations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.pools import PoolIndex, ResourcePool
+from repro.cluster.resources import ResourceType
+from repro.core.batch import BatchDemandEngine, sum_demand_rows
+from repro.core.bids import Bid
+from repro.core.bundles import BundleSet
+
+# A fixed two-cluster index so hypothesis explores bid and price-path space,
+# not fleet space.
+_POOLS = PoolIndex(
+    [
+        ResourcePool(cluster="c0", rtype=ResourceType.CPU, capacity=1_000.0, unit_cost=10.0, utilization=0.9),
+        ResourcePool(cluster="c0", rtype=ResourceType.RAM, capacity=4_000.0, unit_cost=2.0, utilization=0.85),
+        ResourcePool(cluster="c1", rtype=ResourceType.CPU, capacity=1_000.0, unit_cost=10.0, utilization=0.5),
+        ResourcePool(cluster="c1", rtype=ResourceType.RAM, capacity=4_000.0, unit_cost=2.0, utilization=0.45),
+    ]
+)
+_NAMES = tuple(_POOLS.names)
+
+
+@st.composite
+def mixed_population(draw, max_bidders: int = 10):
+    """Buyers, sellers, and traders with integer quantities and limits.
+
+    Limits are drawn from a small integer range on purpose: bundle costs
+    along integer price paths land in the same range, so drop-out boundary
+    cases (cost exactly equal to the limit) occur naturally and often.
+    """
+    count = draw(st.integers(min_value=1, max_value=max_bidders))
+    bids = []
+    for i in range(count):
+        kind = draw(st.sampled_from(("buyer", "buyer", "buyer", "seller", "trader")))
+        if kind == "buyer":
+            alternatives = draw(st.integers(min_value=1, max_value=3))
+            bundles = []
+            for _ in range(alternatives):
+                a, b = draw(
+                    st.lists(st.sampled_from(_NAMES), min_size=2, max_size=2, unique=True)
+                )
+                bundles.append(
+                    {
+                        a: float(draw(st.integers(min_value=1, max_value=30))),
+                        b: float(draw(st.integers(min_value=0, max_value=30))),
+                    }
+                )
+            limit = float(draw(st.integers(min_value=0, max_value=600)))
+            bids.append(Bid.buy(f"buyer-{i}", _POOLS, bundles, max_payment=limit))
+        elif kind == "seller":
+            name = draw(st.sampled_from(_NAMES))
+            qty = float(draw(st.integers(min_value=1, max_value=30)))
+            revenue = float(draw(st.integers(min_value=0, max_value=200)))
+            bids.append(
+                Bid.sell(f"seller-{i}", _POOLS, [{name: qty}], min_revenue=revenue)
+            )
+        else:
+            a, b = draw(
+                st.lists(st.sampled_from(_NAMES), min_size=2, max_size=2, unique=True)
+            )
+            qty = float(draw(st.integers(min_value=1, max_value=20)))
+            limit = float(draw(st.integers(min_value=0, max_value=200)))
+            bids.append(
+                Bid(
+                    bidder=f"trader-{i}",
+                    bundles=BundleSet(_POOLS, [{a: qty, b: -qty}]),
+                    limit=limit,
+                )
+            )
+    return bids
+
+
+@st.composite
+def price_path(draw, max_rounds: int = 6):
+    """A monotone integer price path: reserve prices plus per-round steps.
+
+    Steps of zero are drawn deliberately — both per pool (only a subset of
+    the clock moves each round) and per round (a zero-step round where no
+    pool moves at all, as happens when excess demand clears inside the
+    tolerance while the stall counter ticks).
+    """
+    r = len(_POOLS)
+    start = np.array(
+        [float(draw(st.integers(min_value=1, max_value=4))) for _ in range(r)]
+    )
+    rounds = draw(st.integers(min_value=1, max_value=max_rounds))
+    path = [start]
+    for _ in range(rounds):
+        step = np.array(
+            [float(draw(st.integers(min_value=0, max_value=3))) for _ in range(r)]
+        )
+        path.append(path[-1] + step)
+    return path
+
+
+@settings(max_examples=40, deadline=None)
+@given(bids=mixed_population(), path=price_path())
+def test_delta_equals_full_reevaluation_bitwise(bids, path):
+    engine = BatchDemandEngine(_POOLS, bids)
+    state = engine.incremental()
+    for prices in path:
+        got = state.respond_delta(prices)
+        want = engine.respond_all(prices)
+        assert got.quantities.tobytes() == want.quantities.tobytes()
+        assert got.total.tobytes() == want.total.tobytes()
+        assert got.active.tobytes() == want.active.tobytes()
+        assert got.bundle_indices.tobytes() == want.bundle_indices.tobytes()
+        # Integer data: even the costs are exact, not just ULP-close.
+        assert got.costs.tobytes() == want.costs.tobytes()
+        assert got.active_count == want.active_count
+
+
+@settings(max_examples=40, deadline=None)
+@given(bids=mixed_population(), path=price_path())
+def test_retirement_is_permanent_and_buyers_only(bids, path):
+    engine = BatchDemandEngine(_POOLS, bids)
+    buyer_mask = engine._ensure_delta_layout().buyer_mask
+    state = engine.incremental()
+    previous_retired = np.zeros(len(bids), dtype=bool)
+    for prices in path:
+        state.advance(prices)
+        retired = state._retired.copy()
+        # Retired rows never re-enter: the mask only ever grows.
+        assert np.all(retired >= previous_retired)
+        # Only pure buyers retire, and every retired bidder is inactive.
+        assert not np.any(retired & ~buyer_mask)
+        assert not np.any(retired & state.active)
+        # A retired buyer's rows are out of the active set for good.
+        assert state.retired_count == int(np.count_nonzero(retired))
+        previous_retired = retired
+    # Every dropped-out pure buyer is retired (the set is maximal, not
+    # merely sound) — this is what makes late rounds cheap.
+    assert np.array_equal(state._retired, buyer_mask & ~state.active)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bids=mixed_population(), path=price_path())
+def test_running_total_equals_reduce_after_every_round(bids, path):
+    engine = BatchDemandEngine(_POOLS, bids)
+    state = engine.incremental()
+    for prices in path:
+        state.advance(prices)
+        assert state.total.tobytes() == sum_demand_rows(state.quantities).tobytes()
+
+
+@settings(max_examples=20, deadline=None)
+@given(bids=mixed_population(), path=price_path())
+def test_moved_mask_hint_is_validated_and_harmless(bids, path):
+    engine = BatchDemandEngine(_POOLS, bids)
+    hinted = engine.incremental()
+    plain = engine.incremental()
+    everything = np.ones(len(_POOLS), dtype=bool)
+    for prices in path:
+        # A conservative all-true hint must change nothing.
+        hinted.advance(prices, moved_mask=everything)
+        plain.advance(prices)
+        assert hinted.quantities.tobytes() == plain.quantities.tobytes()
+        assert hinted.total.tobytes() == plain.total.tobytes()
+    assert hinted.rows_evaluated == plain.rows_evaluated
+
+
+def test_single_pool_index_total_matches_batch():
+    # The one layout where numpy's axis-0 reduction is *not* a sequential
+    # accumulation: a single-pool index.  The kernel must fall back to the
+    # identical full re-reduction there.
+    index = PoolIndex(
+        [ResourcePool(cluster="solo", rtype=ResourceType.CPU, capacity=500.0, unit_cost=5.0, utilization=0.5)]
+    )
+    bids = [
+        Bid.buy(f"t{i}", index, [{"solo/cpu": float(1 + i % 7)}], max_payment=float(40 + i))
+        for i in range(50)
+    ]
+    engine = BatchDemandEngine(index, bids)
+    state = engine.incremental()
+    prices = np.ones(1)
+    for _ in range(6):
+        state.advance(prices)
+        want = engine.respond_all(prices)
+        assert state.total.tobytes() == want.total.tobytes()
+        assert state.quantities.tobytes() == want.quantities.tobytes()
+        prices = prices + 1.0
+
+
+def test_dropout_boundary_cost_exactly_at_limit():
+    # cost == limit is "still in" under the DROPOUT_SLACK rule; one unit
+    # more and the buyer is out — and, being a pure buyer, retired.
+    bids = [Bid.buy("edge", _POOLS, [{"c0/cpu": 10.0}], max_payment=30.0)]
+    engine = BatchDemandEngine(_POOLS, bids)
+    state = engine.incremental()
+    p = np.ones(len(_POOLS))
+    state.advance(p)  # cost 10 < 30
+    p2 = p.copy()
+    p2[0] = 3.0
+    state.advance(p2)  # cost 30 == limit: boundary, still active
+    assert bool(state.active[0])
+    assert state.retired_count == 0
+    p3 = p2.copy()
+    p3[0] = 4.0
+    state.advance(p3)  # cost 40 > 30: out, and permanently retired
+    assert not bool(state.active[0])
+    assert state.retired_count == 1
+    # Further price motion on the retired bidder's pool evaluates no rows.
+    p4 = p3.copy()
+    p4[0] = 9.0
+    state.advance(p4)
+    assert state.rows_evaluated[-1] == 0
+
+
+def test_price_decrease_is_rejected():
+    bids = [Bid.buy("t", _POOLS, [{"c0/cpu": 5.0}], max_payment=100.0)]
+    state = BatchDemandEngine(_POOLS, bids).incremental()
+    p = np.full(len(_POOLS), 2.0)
+    state.advance(p)
+    lower = p.copy()
+    lower[1] = 1.0
+    with pytest.raises(ValueError, match="non-decreasing"):
+        state.advance(lower)
+
+
+def test_incomplete_moved_mask_is_rejected():
+    bids = [Bid.buy("t", _POOLS, [{"c0/cpu": 5.0}], max_payment=100.0)]
+    state = BatchDemandEngine(_POOLS, bids).incremental()
+    p = np.ones(len(_POOLS))
+    state.advance(p)
+    p2 = p.copy()
+    p2[0] = 2.0
+    with pytest.raises(ValueError, match="moved_mask"):
+        state.advance(p2, moved_mask=np.zeros(len(_POOLS), dtype=bool))

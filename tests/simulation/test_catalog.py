@@ -70,9 +70,9 @@ class TestScenarioSpec:
         assert spec.config.fleet.cluster_count * 3 == 102  # pools = clusters x dims
         assert spec.auctions == 6
 
-    def test_stress_scenario_uses_batch_engine(self):
+    def test_stress_scenario_uses_incremental_engine(self):
         spec = get_scenario("10k-bidder-stress")
-        assert spec.config.auction_engine == "batch"
+        assert spec.config.auction_engine == "incremental"
         assert spec.config.population.team_count == 10_000
         assert "stress" in spec.tags
 
